@@ -1,0 +1,82 @@
+// Extension 3: in-band DVFS governor vs out-of-band power capping.
+//
+// The memory-aware governor downclocks exactly when frequency is wasted
+// (DRAM-stall phases); the BMC cap throttles whatever is running to meet a
+// watts target. Comparing the two at the *same achieved average power*
+// isolates what a power target costs: the cap must keep throttling during
+// compute phases too, so it pays more time for the same watts — and on this
+// platform (101 W idle floor) neither saves energy, the paper's §II-B [2]
+// argument.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "apps/sar/workload.hpp"
+#include "apps/stereo/workload.hpp"
+#include "core/capped_runner.hpp"
+#include "core/governor.hpp"
+#include "harness/cli.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  (void)harness::parse_cli(argc, argv);
+
+  util::TextTable t({"Workload", "Regime", "Power (W)", "Time x base",
+                     "Energy x base", "Avg Freq (MHz)"});
+
+  auto study = [&t](sim::Workload& w) {
+    // Baseline.
+    sim::Node base_node(sim::MachineConfig::romley());
+    core::CappedRunner base_runner(base_node);
+    const sim::RunReport base = base_runner.run(w, std::nullopt);
+
+    auto add = [&](const char* regime, const sim::RunReport& r) {
+      t.add_row({w.name(), regime, util::TextTable::num(r.avg_power_w, 1),
+                 util::TextTable::num(util::to_seconds(r.elapsed) /
+                                          util::to_seconds(base.elapsed),
+                                      2),
+                 util::TextTable::num(r.energy_j / base.energy_j, 2),
+                 util::TextTable::num(static_cast<std::uint64_t>(
+                     r.avg_frequency / util::kMegaHertz))});
+    };
+    add("baseline", base);
+
+    // Governor.
+    sim::Node gov_node(sim::MachineConfig::romley());
+    core::MemoryAwareGovernor governor(gov_node);
+    gov_node.set_control_hook(
+        [&governor](sim::PlatformControl&) { governor.on_tick(); });
+    gov_node.hierarchy().flush_caches();
+    gov_node.hierarchy().flush_tlbs();
+    const sim::RunReport governed = gov_node.run(w);
+    gov_node.set_control_hook(nullptr);
+    add("governor", governed);
+
+    // BMC cap at the governor's achieved power.
+    sim::Node cap_node(sim::MachineConfig::romley());
+    core::CappedRunner cap_runner(cap_node);
+    const sim::RunReport capped = cap_runner.run(w, governed.avg_power_w);
+    char label[48];
+    std::snprintf(label, sizeof label, "cap @%.0fW", governed.avg_power_w);
+    add(label, capped);
+    t.add_separator();
+  };
+
+  apps::sar::SireWorkload sire;
+  study(sire);
+  apps::stereo::StereoWorkload stereo;
+  study(stereo);
+
+  std::printf(
+      "Extension 3: memory-aware DVFS governor vs BMC capping at the same "
+      "achieved power\n%s",
+      t.str().c_str());
+  std::printf(
+      "The governor spends its slowdown only where frequency is already\n"
+      "wasted; a watts target throttles compute phases too. Neither saves\n"
+      "meaningful energy on a platform idling at ~101 W (paper ref [2]).\n");
+  return 0;
+}

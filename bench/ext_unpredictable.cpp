@@ -1,0 +1,61 @@
+// Extension 2 (paper §V future work): power capping under an unpredictable,
+// phased workload. The BMC must chase a demand signal that jumps between
+// compute-heavy and memory-heavy phases; we report regulation quality
+// (time above cap, worst excursion) and the throughput cost.
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "apps/synthetic.hpp"
+#include "core/capped_runner.hpp"
+#include "harness/cli.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  (void)harness::parse_cli(argc, argv);
+
+  apps::PhasedParams params;
+  params.phases = 14;
+  apps::PhasedWorkload phased(params);
+
+  util::TextTable t({"Cap (W)", "Avg Power (W)", "% samples > cap+1W",
+                     "worst excursion (W)", "Time x base"});
+
+  sim::Node node(sim::MachineConfig::romley());
+  core::CappedRunner runner(node);
+  const sim::RunReport base = runner.run(phased, std::nullopt);
+
+  for (const double cap : {150.0, 140.0, 130.0}) {
+    const sim::RunReport r = runner.run(phased, cap);
+    const auto& samples = node.meter().samples();
+    std::size_t over = 0;
+    double worst = 0.0;
+    for (const auto& s : samples) {
+      if (s.watts > cap + 1.0) ++over;
+      worst = std::max(worst, s.watts - cap);
+    }
+    t.add_row({util::TextTable::num(cap, 0),
+               util::TextTable::num(r.avg_power_w, 1),
+               util::TextTable::num(
+                   samples.empty()
+                       ? 0.0
+                       : 100.0 * static_cast<double>(over) / samples.size(),
+                   1),
+               util::TextTable::num(worst, 1),
+               util::TextTable::num(util::to_seconds(r.elapsed) /
+                                        util::to_seconds(base.elapsed),
+                                    2)});
+  }
+  std::printf(
+      "Extension 2: capping an unpredictable phased workload "
+      "(compute/memory phases of random length)\n%s",
+      t.str().c_str());
+  std::printf(
+      "Phase transitions cause brief excursions above the cap before the\n"
+      "control loop reacts — the scenario where capping (vs static "
+      "provisioning)\nactually earns its keep (paper §IV-C).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Figure 1: SIRE/RSM raw performance data across power caps,
+// with every series normalised to its maximum (ITLB misses, frequency,
+// time, power consumption, energy consumption).
+#include <iostream>
+#include <memory>
+
+#include "apps/sar/workload.hpp"
+#include "harness/cli.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  const harness::CliOptions cli = harness::parse_cli(argc, argv);
+
+  harness::StudyConfig config;
+  config.repetitions = cli.repetitions(1);
+  config.jobs = cli.jobs;
+  config.seed = cli.seed;
+
+  const harness::StudyResult sire = harness::run_power_cap_study(
+      "SIRE/RSM", [] { return std::make_unique<apps::sar::SireWorkload>(); },
+      config);
+
+  harness::render_normalized_figure(
+      std::cout, sire,
+      "Figure 1: SIRE/RSM normalized performance data vs power cap",
+      /*include_cache_rates=*/false);
+  harness::write_figure_csv(cli.csv_dir + "/fig1_sire.csv", sire, false);
+  harness::write_figure_gnuplot(cli.csv_dir + "/fig1_sire.gp",
+                                cli.csv_dir + "/fig1_sire.csv",
+                                "Figure 1: SIRE/RSM (normalized)", false);
+  std::cout << "wrote " << cli.csv_dir << "/fig1_sire.{csv,gp}\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 2: Stereo Matching (simulated annealing) normalised
+// performance data across power caps, including the L2/L3 miss-rate series
+// the paper adds for this application.
+#include <iostream>
+#include <memory>
+
+#include "apps/stereo/workload.hpp"
+#include "harness/cli.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  const harness::CliOptions cli = harness::parse_cli(argc, argv);
+
+  harness::StudyConfig config;
+  config.repetitions = cli.repetitions(1);
+  config.jobs = cli.jobs;
+  config.seed = cli.seed;
+
+  const harness::StudyResult stereo = harness::run_power_cap_study(
+      "Stereo Matching",
+      [] { return std::make_unique<apps::stereo::StereoWorkload>(); },
+      config);
+
+  harness::render_normalized_figure(
+      std::cout, stereo,
+      "Figure 2: Stereo Matching normalized performance data vs power cap",
+      /*include_cache_rates=*/true);
+  harness::write_figure_csv(cli.csv_dir + "/fig2_stereo.csv", stereo, true);
+  harness::write_figure_gnuplot(cli.csv_dir + "/fig2_stereo.gp",
+                                cli.csv_dir + "/fig2_stereo.csv",
+                                "Figure 2: Stereo Matching (normalized)", true);
+  std::cout << "wrote " << cli.csv_dir << "/fig2_stereo.{csv,gp}\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 3: the Hennessy & Patterson stride microbenchmark run
+// with no power cap. Prints the access-time surface (one series per array
+// size), and the hierarchy parameters the paper infers from it: cache
+// sizes, per-level access times, line size.
+#include <iostream>
+
+#include "apps/stride/stride.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  const harness::CliOptions cli = harness::parse_cli(argc, argv);
+
+  apps::stride::StrideConfig config = apps::stride::StrideConfig::paper();
+  if (!cli.full) config.touches_per_cell = 12000;
+
+  sim::Node node(sim::MachineConfig::romley(), cli.seed);
+  apps::stride::StrideWorkload stride(config);
+  node.run(stride);
+
+  harness::render_stride_figure(
+      std::cout, stride.results(),
+      "Figure 3: stride microbenchmark, no power cap (access time, ns)");
+  harness::write_stride_csv(cli.csv_dir + "/fig3_stride_nocap.csv",
+                            stride.results());
+  harness::write_stride_gnuplot(cli.csv_dir + "/fig3_stride_nocap.gp",
+                                cli.csv_dir + "/fig3_stride_nocap.csv",
+                                "Figure 3: stride microbenchmark, no cap",
+                                stride.results());
+
+  const auto inf = apps::stride::infer_hierarchy(stride.results());
+  std::cout << "\nInferred hierarchy (paper Fig. 3 reads: L1 32-64K, L2 "
+               "256-512K, L3 16-32M, line 64B,\n  L1 ~1.5ns, L2 ~3.5ns, L3 "
+               "~8.6ns, memory ~60ns):\n";
+  std::cout << "  L1 fits " << util::format_bytes(inf.l1_fits_bytes)
+            << " (actual 32K), access " << inf.l1_ns << " ns\n";
+  std::cout << "  L2 fits " << util::format_bytes(inf.l2_fits_bytes)
+            << " (actual 256K), access " << inf.l2_ns << " ns\n";
+  std::cout << "  L3 fits " << util::format_bytes(inf.l3_fits_bytes)
+            << " (actual 20M), access " << inf.l3_ns << " ns\n";
+  std::cout << "  memory access " << inf.mem_ns << " ns, line "
+            << inf.line_bytes << " B\n";
+  std::cout << "wrote " << cli.csv_dir << "/fig3_stride_nocap.csv\n";
+  return 0;
+}

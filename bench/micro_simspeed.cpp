@@ -1,0 +1,118 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: cache
+// lookup, TLB lookup, DRAM access, full hierarchy access, execution-context
+// operations, power-model evaluation and the BMC control step. These guard
+// the simulator's own throughput (accesses simulated per second).
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "cache/tlb.hpp"
+#include "core/bmc.hpp"
+#include "mem/dram.hpp"
+#include "power/model.hpp"
+#include "sim/execution_context.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pcap;
+
+void BM_CacheHit(benchmark::State& state) {
+  cache::Cache l1({.name = "L1", .size_bytes = 32 * 1024});
+  l1.access(0x1000, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l1.access(0x1000, false).hit);
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissStream(benchmark::State& state) {
+  cache::Cache l1({.name = "L1", .size_bytes = 32 * 1024});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l1.access(addr, false).hit);
+    addr += 64;
+  }
+}
+BENCHMARK(BM_CacheMissStream);
+
+void BM_L3RandomAccess(benchmark::State& state) {
+  cache::Cache l3({.name = "L3",
+                   .size_bytes = 20 * 1024 * 1024,
+                   .line_bytes = 64,
+                   .ways = 20});
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l3.access(rng.below(1u << 26), false).hit);
+  }
+}
+BENCHMARK(BM_L3RandomAccess);
+
+void BM_TlbLookup(benchmark::State& state) {
+  cache::Tlb tlb({.name = "DTLB", .entries = 64});
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup(rng.below(1u << 28)));
+  }
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_DramAccess(benchmark::State& state) {
+  mem::Dram dram(mem::DramConfig{});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dram.access(addr));
+    addr += 64;
+  }
+}
+BENCHMARK(BM_DramAccess);
+
+void BM_HierarchySequential(benchmark::State& state) {
+  pmu::CounterBank bank;
+  sim::MemoryHierarchy hierarchy(sim::MachineConfig::romley().hierarchy, bank);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hierarchy.access(addr, sim::AccessType::kLoad).cycles);
+    addr += 8;
+  }
+}
+BENCHMARK(BM_HierarchySequential);
+
+void BM_ContextLoad(benchmark::State& state) {
+  sim::Node node(sim::MachineConfig::romley());
+  sim::ExecutionContext ctx(node);
+  const sim::Address base = ctx.alloc(64 * 1024 * 1024);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    ctx.load(base + offset);
+    offset = (offset + 64) & ((64ull << 20) - 1);
+  }
+}
+BENCHMARK(BM_ContextLoad);
+
+void BM_PowerModel(benchmark::State& state) {
+  power::NodePowerModel model{power::NodePowerConfig{}};
+  power::PowerInputs in;
+  in.workload_running = true;
+  in.active_cores = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.total_watts(in));
+  }
+}
+BENCHMARK(BM_PowerModel);
+
+void BM_BmcControlTick(benchmark::State& state) {
+  sim::Node node(sim::MachineConfig::romley());
+  core::Bmc bmc(node);
+  bmc.set_cap(130.0);
+  for (auto _ : state) {
+    bmc.on_control_tick();
+  }
+}
+BENCHMARK(BM_BmcControlTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Reproduces Table I: baseline (uncapped) node power consumption and
+// execution time for SIRE/RSM and Stereo Matching.
+//
+// Default is a quick run (reduced repetitions); --full matches the paper's
+// five repetitions. CSVs land in results/.
+#include <iostream>
+#include <memory>
+
+#include "apps/sar/workload.hpp"
+#include "apps/stereo/workload.hpp"
+#include "harness/cli.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  const harness::CliOptions cli = harness::parse_cli(argc, argv);
+
+  harness::StudyConfig config;
+  config.caps_w = {};  // Table I is baseline only
+  config.repetitions = cli.repetitions(2);
+  config.jobs = cli.jobs;
+  config.seed = cli.seed;
+
+  std::vector<harness::StudyResult> studies;
+  studies.push_back(harness::run_power_cap_study(
+      "SIRE/RSM",
+      [] { return std::make_unique<apps::sar::SireWorkload>(); }, config));
+  studies.push_back(harness::run_power_cap_study(
+      "Stereo Matching",
+      [] { return std::make_unique<apps::stereo::StereoWorkload>(); },
+      config));
+
+  harness::render_table1(std::cout, studies);
+
+  util::CsvWriter csv(cli.csv_dir + "/table1_baseline.csv");
+  csv.row({"workload", "avg_power_w", "time_s", "energy_j"});
+  for (const auto& s : studies) {
+    csv.field(s.workload);
+    csv.field(s.baseline.avg_power_w);
+    csv.field(s.baseline.time_s);
+    csv.field(s.baseline.energy_j);
+    csv.end_row();
+  }
+  std::cout << "wrote " << cli.csv_dir << "/table1_baseline.csv\n";
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Executable validation of the reproduction: loads the CSVs produced by the
+// table/figure benches from results/ and checks every headline shape of the
+// paper (DESIGN.md §1) mechanically. Exit code 1 if any check fails, so a
+// full regeneration can be gated in CI:
+//
+//   ./table2_powercaps && ./fig3_stride_nocap && ./validate_shapes
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Checker {
+  pcap::util::TextTable table{{"check", "detail", "status"}};
+  int failures = 0;
+  int passes = 0;
+
+  void check(const std::string& name, bool ok, const std::string& detail) {
+    table.add_row({name, detail, ok ? "PASS" : "FAIL"});
+    (ok ? passes : failures) += 1;
+  }
+};
+
+struct Table2 {
+  pcap::util::CsvTable csv;
+  int cap_col, power_col, energy_col, freq_col, time_col, l3_col, tlbi_col,
+      tlbd_col, ins_col;
+
+  explicit Table2(const std::string& path) : csv(pcap::util::read_csv(path)) {
+    cap_col = csv.column("cap_w");
+    power_col = csv.column("power_w");
+    energy_col = csv.column("energy_j");
+    freq_col = csv.column("freq_mhz");
+    time_col = csv.column("time_s");
+    l3_col = csv.column("l3_misses");
+    tlbi_col = csv.column("tlb_i_misses");
+    tlbd_col = csv.column("tlb_d_misses");
+    ins_col = csv.column("instructions");
+  }
+
+  // Row 0 is the baseline (cap_w == 0); capped rows descend 160..120.
+  std::size_t rows() const { return csv.rows.size(); }
+  double at(std::size_t r, int c) const { return csv.number(r, c); }
+  /// Row index for a cap value; 0 if absent (baseline).
+  std::size_t row_for_cap(double cap) const {
+    for (std::size_t r = 0; r < rows(); ++r) {
+      if (at(r, cap_col) == cap) return r;
+    }
+    return 0;
+  }
+};
+
+void validate_app(Checker& c, const std::string& label, const Table2& t,
+                  bool expect_l3_explosion) {
+  char buf[160];
+  const std::size_t base = 0;
+
+  // 1. Time and energy grow (weakly) as the cap descends.
+  bool time_monotone = true;
+  for (std::size_t r = 2; r < t.rows(); ++r) {
+    if (t.at(r, t.time_col) < t.at(r - 1, t.time_col) * 0.97) {
+      time_monotone = false;
+    }
+  }
+  c.check(label + ": time grows as cap drops", time_monotone, "");
+
+  // 2. Explosion below 135 W.
+  const double x150 = t.at(t.row_for_cap(150), t.time_col) / t.at(base, t.time_col);
+  const double x120 = t.at(t.row_for_cap(120), t.time_col) / t.at(base, t.time_col);
+  std::snprintf(buf, sizeof buf, "x%.2f @150W, x%.1f @120W", x150, x120);
+  c.check(label + ": mild then explosive slowdown", x150 < 1.3 && x120 > 8.0,
+          buf);
+
+  // 3. Frequency pinned at the minimum P-state for deep caps.
+  const double f125 = t.at(t.row_for_cap(125), t.freq_col);
+  const double f120 = t.at(t.row_for_cap(120), t.freq_col);
+  std::snprintf(buf, sizeof buf, "%.0f / %.0f MHz", f125, f120);
+  c.check(label + ": frequency pinned at 1200 MHz below 130 W",
+          f125 < 1210 && f120 < 1210, buf);
+
+  // 4. ...while power keeps falling (non-DVFS mechanisms).
+  c.check(label + ": power falls below the min-P-state draw",
+          t.at(t.row_for_cap(120), t.power_col) <
+              t.at(t.row_for_cap(135), t.power_col) - 5.0,
+          "");
+
+  // 5. The 120 W cap is missed (throttling floor).
+  const double p120 = t.at(t.row_for_cap(120), t.power_col);
+  std::snprintf(buf, sizeof buf, "measured %.1f W", p120);
+  c.check(label + ": 120 W cap missed", p120 > 120.5, buf);
+
+  // 6. Energy minimum at the loosest caps.
+  const double e160 = t.at(t.row_for_cap(160), t.energy_col);
+  c.check(label + ": energy minimal at 160 W",
+          e160 <= t.at(t.row_for_cap(130), t.energy_col) &&
+              e160 <= t.at(t.row_for_cap(120), t.energy_col),
+          "");
+
+  // 7. Committed instructions identical at every cap.
+  bool ins_equal = true;
+  for (std::size_t r = 1; r < t.rows(); ++r) {
+    if (t.at(r, t.ins_col) != t.at(base, t.ins_col)) ins_equal = false;
+  }
+  c.check(label + ": committed instructions identical", ins_equal, "");
+
+  // 8. Cache asymmetry.
+  const double l3x =
+      t.at(t.row_for_cap(120), t.l3_col) / t.at(base, t.l3_col);
+  std::snprintf(buf, sizeof buf, "L3 misses x%.2f @120W", l3x);
+  if (expect_l3_explosion) {
+    c.check(label + ": L3 miss explosion at deep caps", l3x > 3.0, buf);
+  } else {
+    c.check(label + ": L3 misses stay flat (streaming)", l3x < 1.6, buf);
+  }
+
+  // 9. ITLB explodes, DTLB stays comparatively flat.
+  const double itlbx =
+      t.at(t.row_for_cap(120), t.tlbi_col) / t.at(base, t.tlbi_col);
+  const double dtlbx =
+      t.at(t.row_for_cap(120), t.tlbd_col) / t.at(base, t.tlbd_col);
+  std::snprintf(buf, sizeof buf, "ITLB x%.0f, DTLB x%.2f", itlbx, dtlbx);
+  c.check(label + ": ITLB explodes, DTLB flat", itlbx > 10.0 && dtlbx < 2.0,
+          buf);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  const harness::CliOptions cli = harness::parse_cli(argc, argv);
+
+  const std::string stereo_path = cli.csv_dir + "/table2_stereo.csv";
+  const std::string sire_path = cli.csv_dir + "/table2_sire.csv";
+  if (!std::filesystem::exists(stereo_path) ||
+      !std::filesystem::exists(sire_path)) {
+    std::printf(
+        "validate_shapes: no Table II CSVs under %s/ — run "
+        "table2_powercaps first (skipping, not failing).\n",
+        cli.csv_dir.c_str());
+    return 0;
+  }
+
+  Checker checker;
+  validate_app(checker, "Stereo", Table2(stereo_path),
+               /*expect_l3_explosion=*/true);
+  validate_app(checker, "SIRE", Table2(sire_path),
+               /*expect_l3_explosion=*/false);
+
+  // Stride figures, when present.
+  const std::string fig3 = cli.csv_dir + "/fig3_stride_nocap.csv";
+  const std::string fig4 = cli.csv_dir + "/fig4_stride_cap120.csv";
+  if (std::filesystem::exists(fig3) && std::filesystem::exists(fig4)) {
+    const util::CsvTable a = util::read_csv(fig3);
+    const util::CsvTable b = util::read_csv(fig4);
+    const int ns_a = a.column("ns_per_access");
+    const int ns_b = b.column("ns_per_access");
+    double sum_a = 0, sum_b = 0;
+    for (std::size_t r = 0; r < a.rows.size(); ++r) sum_a += a.number(r, ns_a);
+    for (std::size_t r = 0; r < b.rows.size(); ++r) sum_b += b.number(r, ns_b);
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "mean inflation x%.1f",
+                  sum_a > 0 ? (sum_b / b.rows.size()) / (sum_a / a.rows.size())
+                            : 0.0);
+    checker.check("Stride: 120 W cap inflates access times",
+                  !a.rows.empty() && !b.rows.empty() &&
+                      sum_b / b.rows.size() > 5.0 * (sum_a / a.rows.size()),
+                  buf);
+  }
+
+  std::printf("Validation of regenerated results against the paper's "
+              "headline shapes:\n%s",
+              checker.table.str().c_str());
+  std::printf("%d checks passed, %d failed\n", checker.passes,
+              checker.failures);
+  return checker.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// The paper's future-work methodology (§V): screen a set of candidate
+// applications for their amenability to power-capped execution, producing a
+// ranking an operator can use to decide which payloads tolerate capping.
+#include <cstdio>
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/kernels/kernels.hpp"
+#include "apps/sar/workload.hpp"
+#include "apps/stereo/workload.hpp"
+#include "apps/synthetic.hpp"
+#include "core/amenability.hpp"
+#include "core/capped_runner.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+
+int main() {
+  using namespace pcap;
+
+  // Candidate payloads (small presets; the ranking, not the absolute
+  // numbers, is the deliverable).
+  struct Candidate {
+    std::string name;
+    std::unique_ptr<sim::Workload> workload;
+  };
+  std::vector<Candidate> candidates;
+  {
+    apps::sar::SireParams sar = apps::sar::SireParams::quick();
+    sar.upsample_factor = 4;
+    candidates.push_back(
+        {"SAR image formation (streaming)",
+         std::make_unique<apps::sar::SireWorkload>(sar)});
+    candidates.push_back(
+        {"Stereo matching (cache-resident)",
+         std::make_unique<apps::stereo::StereoWorkload>(
+             apps::stereo::StereoParams::quick())});
+    candidates.push_back({"Pure compute kernel",
+                          std::make_unique<apps::ComputeBoundWorkload>(8000000)});
+    candidates.push_back({"Memory-bound stream",
+                          std::make_unique<apps::MemoryBoundWorkload>(
+                              48ull << 20, 1500000)});
+    candidates.push_back({"Blocked GEMM (compute, cache-blocked)",
+                          std::make_unique<apps::kernels::GemmWorkload>(160)});
+    candidates.push_back(
+        {"Jacobi stencil (bandwidth)",
+         std::make_unique<apps::kernels::StencilWorkload>(768, 768, 4)});
+    candidates.push_back({"FFT radix-2 (strided)",
+                          std::make_unique<apps::kernels::FftWorkload>(16)});
+  }
+
+  const double caps[] = {150, 140, 130, 125};
+  core::AmenabilityOptions options;
+  options.slowdown_tolerance = 1.25;
+  core::AmenabilityAnalyzer analyzer(options);
+
+  struct Row {
+    std::string name;
+    core::AmenabilityReport report;
+  };
+  std::vector<Row> rows;
+  for (auto& c : candidates) {
+    sim::Node node(sim::MachineConfig::romley());
+    core::CappedRunner runner(node);
+    rows.push_back({c.name, analyzer.analyze(runner, *c.workload, caps)});
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.report.sensitivity_index < b.report.sensitivity_index;
+  });
+
+  std::printf("Amenability screening (lower sensitivity = more amenable)\n");
+  std::printf("  %-34s %-12s %-14s %s\n", "workload", "sensitivity",
+              "usable floor", "slowdown @130W");
+  for (const auto& row : rows) {
+    double at130 = 0.0;
+    for (const auto& p : row.report.points) {
+      if (p.cap_w == 130.0) at130 = p.slowdown;
+    }
+    std::printf("  %-34s %-12.3f %-14.0f %.2fx\n", row.name.c_str(),
+                row.report.sensitivity_index, row.report.usable_cap_floor_w,
+                at130);
+  }
+  std::printf(
+      "\nReading: the *usable floor* answers the fielded-system question\n"
+      "(lowest cap within the slowdown tolerance): memory-bound codes reach\n"
+      "deeper floors because DVFS barely hurts them. The *sensitivity index*\n"
+      "averages the whole grid, where the deepest caps engage DRAM gating\n"
+      "and duty cycling that punish memory traffic — the paper's two-sided\n"
+      "SIRE-vs-Stereo story, generalised into a screening tool.\n");
+  return 0;
+}

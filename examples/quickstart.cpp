@@ -1,0 +1,60 @@
+// Quickstart: build the simulated Romley node, attach BMC power-capping
+// firmware, run the stereo-matching application uncapped and at 130 W, and
+// print what the paper's instruments would show.
+#include <cstdio>
+
+#include "apps/stereo/workload.hpp"
+#include "core/capped_runner.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace pcap;
+
+  // 1. The platform: dual-socket Sandy Bridge E5-2680 with 16 P-states,
+  //    32K/256K/20M caches, a BMC and a wall power meter.
+  sim::Node node(sim::MachineConfig::romley());
+
+  // 2. Management plane: a BMC enforcing caps out-of-band.
+  core::CappedRunner runner(node);
+
+  // 3. An application of interest (small preset so this runs in seconds).
+  apps::stereo::StereoWorkload stereo(apps::stereo::StereoParams::quick());
+
+  std::printf("idle power: measuring...\n");
+  node.start_metering();
+  node.idle_for(util::milliseconds(2.0));
+  std::printf("  idle node power  : %6.1f W\n", node.meter().average_watts());
+
+  const sim::RunReport base = runner.run(stereo, std::nullopt);
+  std::printf("baseline (no cap)\n");
+  std::printf("  execution time   : %s\n",
+              util::format_duration(base.elapsed).c_str());
+  std::printf("  avg node power   : %6.1f W\n", base.avg_power_w);
+  std::printf("  energy           : %8.2f J\n", base.energy_j);
+  std::printf("  avg frequency    : %s\n",
+              util::format_hertz(base.avg_frequency).c_str());
+  std::printf("  disparity accuracy vs truth (+/-1): %.1f%%\n",
+              100.0 * apps::stereo::disparity_accuracy(
+                          stereo.last_result().disparity,
+                          stereo.pair().truth, 1));
+
+  const sim::RunReport capped = runner.run(stereo, 130.0);
+  std::printf("capped at 130 W\n");
+  std::printf("  execution time   : %s  (%.2fx baseline)\n",
+              util::format_duration(capped.elapsed).c_str(),
+              util::to_seconds(capped.elapsed) /
+                  util::to_seconds(base.elapsed));
+  std::printf("  avg node power   : %6.1f W\n", capped.avg_power_w);
+  std::printf("  energy           : %8.2f J (%.2fx baseline)\n",
+              capped.energy_j, capped.energy_j / base.energy_j);
+  std::printf("  avg frequency    : %s\n",
+              util::format_hertz(capped.avg_frequency).c_str());
+  std::printf("  L3 misses        : %llu (baseline %llu)\n",
+              static_cast<unsigned long long>(
+                  capped.counter(pmu::Event::kL3Tcm)),
+              static_cast<unsigned long long>(
+                  base.counter(pmu::Event::kL3Tcm)));
+  return 0;
+}

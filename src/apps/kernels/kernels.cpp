@@ -1,0 +1,59 @@
+#include "apps/kernels/kernels.hpp"
+
+#include "sim/execution_context.hpp"
+#include "util/rng.hpp"
+
+namespace pcap::apps::kernels {
+
+GemmWorkload::GemmWorkload(int n, std::uint64_t seed) : n_(n) {
+  util::Rng rng(seed);
+  const auto count = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  a_.resize(count);
+  b_.resize(count);
+  for (auto& v : a_) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b_) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+void GemmWorkload::run(sim::ExecutionContext& ctx) {
+  SimMachine m(ctx);
+  const auto count = a_.size();
+  c_.assign(count, 0.0f);
+  const Address a_addr = m.alloc(count * 4);
+  const Address b_addr = m.alloc(count * 4);
+  const Address c_addr = m.alloc(count * 4);
+  gemm_blocked(m, n_, a_.data(), b_.data(), c_.data(), a_addr, b_addr, c_addr);
+}
+
+StencilWorkload::StencilWorkload(int width, int height, int iters)
+    : width_(width), height_(height), iters_(iters) {
+  initial_.assign(static_cast<std::size_t>(width) * height, 0.0f);
+  // Hot top edge, cold elsewhere: heat diffuses downward.
+  for (int x = 0; x < width; ++x) initial_[static_cast<std::size_t>(x)] = 100.0f;
+}
+
+void StencilWorkload::run(sim::ExecutionContext& ctx) {
+  SimMachine m(ctx);
+  const std::size_t bytes = initial_.size() * 4;
+  const Address a_addr = m.alloc(bytes);
+  const Address b_addr = m.alloc(bytes);
+  result_ = jacobi_stencil(m, width_, height_, iters_, initial_, a_addr, b_addr);
+}
+
+FftWorkload::FftWorkload(std::size_t log2_size, std::uint64_t seed)
+    : size_(1ull << log2_size) {
+  util::Rng rng(seed);
+  input_.resize(size_);
+  for (auto& x : input_) {
+    x = {static_cast<float>(rng.uniform(-1.0, 1.0)),
+         static_cast<float>(rng.uniform(-1.0, 1.0))};
+  }
+}
+
+void FftWorkload::run(sim::ExecutionContext& ctx) {
+  SimMachine m(ctx);
+  result_ = input_;
+  const Address addr = m.alloc(result_.size() * sizeof(std::complex<float>));
+  fft_radix2(m, result_, addr);
+}
+
+}  // namespace pcap::apps::kernels

@@ -1,0 +1,196 @@
+// HPC kernel suite: blocked GEMM, 5-point Jacobi stencil, iterative
+// radix-2 FFT — three canonical kernels with distinct memory profiles
+// (compute-bound / bandwidth-bound / stride-pattern-bound), used as
+// additional candidates for the amenability-screening methodology and the
+// governor/capping comparisons. All are real algorithms (results verified
+// by tests), templated on the machine-narration policy.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/machine.hpp"
+#include "sim/workload.hpp"
+
+namespace pcap::apps::kernels {
+
+inline constexpr std::uint32_t kGemmCodeRegion = 10;
+inline constexpr std::uint32_t kStencilCodeRegion = 11;
+inline constexpr std::uint32_t kFftCodeRegion = 12;
+
+// --- GEMM -----------------------------------------------------------------
+
+/// C += A * B for n x n row-major floats, blocked for the L1. Narrated at
+/// 4-element vector granularity. Compute-bound: ~2n^3 flops over 3n^2 data.
+template <typename Machine>
+void gemm_blocked(Machine& m, int n, const float* a, const float* b, float* c,
+                  Address a_addr, Address b_addr, Address c_addr,
+                  int block = 32) {
+  m.set_code_footprint(kGemmCodeRegion, 5);
+  for (int ii = 0; ii < n; ii += block) {
+    for (int kk = 0; kk < n; kk += block) {
+      for (int jj = 0; jj < n; jj += block) {
+        const int i_end = std::min(ii + block, n);
+        const int k_end = std::min(kk + block, n);
+        const int j_end = std::min(jj + block, n);
+        for (int i = ii; i < i_end; ++i) {
+          for (int k = kk; k < k_end; ++k) {
+            const float aik = a[static_cast<std::size_t>(i) * n + k];
+            m.load(a_addr + (static_cast<std::size_t>(i) * n + k) * 4);
+            for (int j = jj; j < j_end; j += 4) {
+              const int lanes = std::min(4, j_end - j);
+              for (int l = 0; l < lanes; ++l) {
+                c[static_cast<std::size_t>(i) * n + j + l] +=
+                    aik * b[static_cast<std::size_t>(k) * n + j + l];
+              }
+              m.load(b_addr + (static_cast<std::size_t>(k) * n + j) * 4);
+              m.store(c_addr + (static_cast<std::size_t>(i) * n + j) * 4);
+              m.compute(8);  // 4 FMAs + address math
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+class GemmWorkload final : public sim::Workload {
+ public:
+  explicit GemmWorkload(int n = 256, std::uint64_t seed = 21);
+  std::string name() const override { return "gemm"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+  int n() const { return n_; }
+  const std::vector<float>& result() const { return c_; }
+
+ private:
+  int n_;
+  std::vector<float> a_, b_, c_;
+};
+
+// --- Jacobi stencil ---------------------------------------------------------
+
+/// `iters` Jacobi sweeps of the 5-point Laplace stencil over a width x
+/// height grid with fixed boundary; returns the final grid. Bandwidth-bound:
+/// streams two grids per sweep.
+template <typename Machine>
+std::vector<float> jacobi_stencil(Machine& m, int width, int height, int iters,
+                                  std::vector<float> grid, Address a_addr,
+                                  Address b_addr) {
+  m.set_code_footprint(kStencilCodeRegion, 4);
+  std::vector<float> next(grid.size());
+  Address src_addr = a_addr;
+  Address dst_addr = b_addr;
+  for (int it = 0; it < iters; ++it) {
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        const std::size_t i = static_cast<std::size_t>(y) * width + x;
+        if (x == 0 || y == 0 || x == width - 1 || y == height - 1) {
+          next[i] = grid[i];  // fixed boundary
+        } else {
+          next[i] = 0.25f * (grid[i - 1] + grid[i + 1] +
+                             grid[i - static_cast<std::size_t>(width)] +
+                             grid[i + static_cast<std::size_t>(width)]);
+        }
+        if (i % 4 == 0) {
+          m.load(src_addr + i * 4);
+          m.load(src_addr + (i + static_cast<std::size_t>(width)) * 4);
+          m.store(dst_addr + i * 4);
+          m.compute(6);
+        }
+      }
+    }
+    grid.swap(next);
+    std::swap(src_addr, dst_addr);
+  }
+  return grid;
+}
+
+class StencilWorkload final : public sim::Workload {
+ public:
+  StencilWorkload(int width = 1024, int height = 1024, int iters = 5);
+  std::string name() const override { return "jacobi-stencil"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+  const std::vector<float>& result() const { return result_; }
+
+ private:
+  int width_, height_, iters_;
+  std::vector<float> initial_;
+  std::vector<float> result_;
+};
+
+// --- FFT --------------------------------------------------------------------
+
+/// In-place iterative radix-2 Cooley-Tukey FFT (size must be a power of
+/// two). The log2(n) passes touch the array at strides 1, 2, 4, ... n/2 —
+/// the classic cache/TLB-antagonistic pattern.
+template <typename Machine>
+void fft_radix2(Machine& m, std::vector<std::complex<float>>& data,
+                Address addr, bool inverse = false) {
+  m.set_code_footprint(kFftCodeRegion, 6);
+  const std::size_t n = data.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+      if (i % 4 == 0) {
+        m.load(addr + i * sizeof(std::complex<float>));
+        m.store(addr + j * sizeof(std::complex<float>));
+        m.compute(4);
+      }
+    }
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * 3.14159265358979323846 /
+                         static_cast<double>(len);
+    const std::complex<float> wl(static_cast<float>(std::cos(angle)),
+                                 static_cast<float>(std::sin(angle)));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::size_t u_i = i + k;
+        const std::size_t v_i = i + k + len / 2;
+        const std::complex<float> u = data[u_i];
+        const std::complex<float> v = data[v_i] * w;
+        data[u_i] = u + v;
+        data[v_i] = u - v;
+        w *= wl;
+        if (k % 4 == 0) {
+          m.load(addr + u_i * sizeof(std::complex<float>));
+          m.load(addr + v_i * sizeof(std::complex<float>));
+          m.store(addr + v_i * sizeof(std::complex<float>));
+          m.compute(14);
+        }
+      }
+    }
+  }
+  if (inverse) {
+    const float inv = 1.0f / static_cast<float>(n);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+class FftWorkload final : public sim::Workload {
+ public:
+  explicit FftWorkload(std::size_t log2_size = 18, std::uint64_t seed = 23);
+  std::string name() const override { return "fft-radix2"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+  const std::vector<std::complex<float>>& result() const { return result_; }
+
+ private:
+  std::size_t size_;
+  std::vector<std::complex<float>> input_;
+  std::vector<std::complex<float>> result_;
+};
+
+}  // namespace pcap::apps::kernels

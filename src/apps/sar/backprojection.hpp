@@ -1,0 +1,147 @@
+// Time-domain backprojection image formation, templated on the machine
+// narration policy (see apps/machine.hpp). For every pixel, the matching
+// range bin of every (selected) aperture's return is summed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/machine.hpp"
+#include "apps/sar/radar.hpp"
+
+namespace pcap::apps::sar {
+
+/// Pixel grid over the imaged ground area.
+struct ImageGrid {
+  int width = 0;    // cross-range pixels (x)
+  int height = 0;   // down-range pixels (y)
+  double x0_m = 0.0;
+  double y0_m = 0.0;
+  double dx_m = 0.0;
+  double dy_m = 0.0;
+
+  std::size_t pixels() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+  double x_of(int px) const { return x0_m + px * dx_m; }
+  double y_of(int py) const { return y0_m + py * dy_m; }
+
+  /// Grid covering [−extent_x/2, extent_x/2] × [near_y, far_y].
+  static ImageGrid cover(const SceneConfig& scene, int width, int height) {
+    ImageGrid g;
+    g.width = width;
+    g.height = height;
+    g.x0_m = -scene.extent_x_m / 2.0;
+    g.y0_m = scene.near_y_m;
+    g.dx_m = scene.extent_x_m / (width > 1 ? width - 1 : 1);
+    g.dy_m = (scene.far_y_m - scene.near_y_m) / (height > 1 ? height - 1 : 1);
+    return g;
+  }
+};
+
+/// Code-region ids used for instruction-footprint narration.
+inline constexpr std::uint32_t kBpCodeRegion = 1;
+inline constexpr std::uint32_t kUpsampleCodeRegion = 2;
+inline constexpr std::uint32_t kMinCodeRegion = 3;
+
+/// Backprojects `apertures` (indices into data) onto `grid`, writing the
+/// signed sum image into `out` (size grid.pixels()). `returns_addr` and
+/// `out_addr` are the simulated base addresses of the two arrays.
+template <typename Machine>
+void backproject(Machine& m, const RadarData& data,
+                 std::span<const int> apertures, const ImageGrid& grid,
+                 std::span<float> out, Address returns_addr,
+                 Address out_addr) {
+  m.set_code_footprint(kBpCodeRegion, 7);
+  const auto& cfg = data.config;
+  const int samples = data.samples();
+  const double inv_step = 1.0 / cfg.range_step_m;
+
+  std::size_t p = 0;
+  for (int py = 0; py < grid.height; ++py) {
+    const double y = grid.y_of(py);
+    const double y2 = y * y;
+    for (int px = 0; px < grid.width; ++px, ++p) {
+      const double x = grid.x_of(px);
+      double acc = 0.0;
+      for (int a : apertures) {
+        const double dx = x - data.aperture_x_m[static_cast<std::size_t>(a)];
+        const double range = std::sqrt(dx * dx + y2);
+        const int bin =
+            static_cast<int>((range - cfg.range0_m) * inv_step + 0.5);
+        if (bin < 0 || bin >= samples) continue;
+        const std::size_t idx = static_cast<std::size_t>(a) *
+                                    static_cast<std::size_t>(samples) +
+                                static_cast<std::size_t>(bin);
+        m.load(returns_addr + idx * sizeof(float));
+        acc += data.returns[idx];
+      }
+      // ~8 uops per aperture: address math, sqrt pipeline slice, accumulate.
+      m.compute(8 * apertures.size());
+      out[p] = static_cast<float>(acc);
+      m.store(out_addr + p * sizeof(float));
+    }
+  }
+}
+
+/// Bilinear upsampling of a coarse magnitude image to `factor` times the
+/// resolution in both axes; writes |value| so the result is a magnitude
+/// image. Narrated at 4-element (16 B) vector granularity.
+template <typename Machine>
+void upsample_magnitude(Machine& m, std::span<const float> coarse,
+                        int cw, int ch, int factor, std::span<float> full,
+                        Address coarse_addr, Address full_addr) {
+  m.set_code_footprint(kUpsampleCodeRegion, 5);
+  const int fw = cw * factor;
+  const int fh = ch * factor;
+  const double inv = 1.0 / factor;
+  std::size_t p = 0;
+  for (int fy = 0; fy < fh; ++fy) {
+    const double sy = fy * inv;
+    const int y0 = std::min(static_cast<int>(sy), ch - 1);
+    const int y1 = std::min(y0 + 1, ch - 1);
+    const double wy = sy - y0;
+    for (int fx = 0; fx < fw; ++fx, ++p) {
+      const double sx = fx * inv;
+      const int x0 = std::min(static_cast<int>(sx), cw - 1);
+      const int x1 = std::min(x0 + 1, cw - 1);
+      const double wx = sx - x0;
+      const std::size_t i00 = static_cast<std::size_t>(y0) * cw + x0;
+      const std::size_t i01 = static_cast<std::size_t>(y0) * cw + x1;
+      const std::size_t i10 = static_cast<std::size_t>(y1) * cw + x0;
+      const std::size_t i11 = static_cast<std::size_t>(y1) * cw + x1;
+      const double v0 = coarse[i00] * (1 - wx) + coarse[i01] * wx;
+      const double v1 = coarse[i10] * (1 - wx) + coarse[i11] * wx;
+      full[p] = static_cast<float>(std::fabs(v0 * (1 - wy) + v1 * wy));
+      if (p % 4 == 0) {
+        m.load(coarse_addr + i00 * sizeof(float));
+        m.store(full_addr + p * sizeof(float));
+        m.compute(10);
+      }
+    }
+  }
+}
+
+/// Streaming element-wise minimum: running = min(running, candidate).
+/// This is the RSM combining pass — the paper's "iteratively loops through
+/// the array elements to remove noise". Narrated at vector granularity.
+template <typename Machine>
+void min_combine(Machine& m, std::span<float> running,
+                 std::span<const float> candidate, Address running_addr,
+                 Address candidate_addr) {
+  m.set_code_footprint(kMinCodeRegion, 4);
+  const std::size_t n = running.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    if (candidate[p] < running[p]) running[p] = candidate[p];
+    if (p % 4 == 0) {
+      m.load(running_addr + p * sizeof(float));
+      m.load(candidate_addr + p * sizeof(float));
+      m.store(running_addr + p * sizeof(float));
+      m.compute(3);
+    }
+  }
+}
+
+}  // namespace pcap::apps::sar

@@ -1,0 +1,48 @@
+// Forward model of the ARL SIRE ultra-wideband impulse radar: the platform
+// advances along a track, transmitting an impulse at each aperture position
+// and recording the time-domain return. Returns are what the paper's
+// SIRE/RSM application consumes; generating them is offline data prep (the
+// paper's input dataset), not part of the timed image-formation workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/sar/scene.hpp"
+
+namespace pcap::apps::sar {
+
+struct RadarConfig {
+  int apertures = 64;
+  int samples_per_return = 2048;
+  double track_length_m = 16.0;  // along x, at y = 0
+  double range0_m = 6.0;         // range of sample bin 0
+  double range_step_m = 0.02;    // range per sample bin
+  double pulse_width_bins = 3.0; // Ricker wavelet width
+  double noise_sigma = 0.01;
+  std::uint64_t seed = 7;
+};
+
+struct RadarData {
+  RadarConfig config;
+  std::vector<double> aperture_x_m;  // one per aperture (y == 0)
+  std::vector<float> returns;        // apertures x samples, row-major
+
+  int apertures() const { return config.apertures; }
+  int samples() const { return config.samples_per_return; }
+  float sample(int aperture, int bin) const {
+    return returns[static_cast<std::size_t>(aperture) *
+                       static_cast<std::size_t>(samples()) +
+                   static_cast<std::size_t>(bin)];
+  }
+  std::size_t size_bytes() const { return returns.size() * sizeof(float); }
+};
+
+/// Ricker (Mexican-hat) wavelet, the canonical UWB impulse shape.
+double ricker(double t_bins, double width_bins);
+
+/// Simulates the radar pass over the scene.
+RadarData simulate_returns(const std::vector<PointTarget>& scene,
+                           const RadarConfig& config);
+
+}  // namespace pcap::apps::sar

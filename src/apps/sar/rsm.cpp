@@ -1,0 +1,25 @@
+#include "apps/sar/rsm.hpp"
+
+namespace pcap::apps::sar {
+
+SireParams SireParams::paper() { return SireParams{}; }
+
+SireParams SireParams::quick() {
+  SireParams p;
+  p.radar.apertures = 24;
+  // Enough range bins to cover the whole scene (range0 + bins*step must
+  // exceed the farthest target's range).
+  p.radar.samples_per_return = 1600;
+  p.coarse_width = 96;
+  p.coarse_height = 64;
+  p.upsample_factor = 2;
+  p.rsm_iterations = 2;
+  return p;
+}
+
+SireResult run_sire_pipeline_host(const RadarData& data, const SireParams& p) {
+  HostMachine m;
+  return run_sire_pipeline(m, data, p);
+}
+
+}  // namespace pcap::apps::sar

@@ -1,0 +1,21 @@
+#include "apps/sar/scene.hpp"
+
+#include "util/rng.hpp"
+
+namespace pcap::apps::sar {
+
+std::vector<PointTarget> make_scene(const SceneConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<PointTarget> targets;
+  targets.reserve(static_cast<std::size_t>(config.targets));
+  for (int i = 0; i < config.targets; ++i) {
+    PointTarget t;
+    t.x_m = rng.uniform(-config.extent_x_m / 2 * 0.9, config.extent_x_m / 2 * 0.9);
+    t.y_m = rng.uniform(config.near_y_m * 1.1, config.far_y_m * 0.95);
+    t.reflectivity = rng.uniform(0.6, 1.0);
+    targets.push_back(t);
+  }
+  return targets;
+}
+
+}  // namespace pcap::apps::sar

@@ -1,0 +1,28 @@
+// Synthetic ground scene for the SIRE radar: a handful of point reflectors
+// in the imaged area (stand-in for the paper's "Lam dataset" field data,
+// which is not publicly available).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcap::apps::sar {
+
+struct PointTarget {
+  double x_m = 0.0;          // cross-range position
+  double y_m = 0.0;          // down-range position
+  double reflectivity = 1.0;
+};
+
+struct SceneConfig {
+  double extent_x_m = 32.0;  // imaged swath, cross-range
+  double near_y_m = 8.0;     // nearest imaged down-range
+  double far_y_m = 28.0;
+  int targets = 6;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministically places `targets` reflectors inside the imaged area.
+std::vector<PointTarget> make_scene(const SceneConfig& config);
+
+}  // namespace pcap::apps::sar

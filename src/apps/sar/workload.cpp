@@ -1,0 +1,16 @@
+#include "apps/sar/workload.hpp"
+
+#include "apps/machine.hpp"
+
+namespace pcap::apps::sar {
+
+SireWorkload::SireWorkload(const SireParams& params)
+    : params_(params),
+      data_(simulate_returns(make_scene(params.scene), params.radar)) {}
+
+void SireWorkload::run(sim::ExecutionContext& ctx) {
+  SimMachine m(ctx);
+  result_ = run_sire_pipeline(m, data_, params_);
+}
+
+}  // namespace pcap::apps::sar

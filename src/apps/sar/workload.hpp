@@ -1,0 +1,32 @@
+// sim::Workload wrapper for the SIRE/RSM application. Radar data generation
+// (the input dataset) happens at construction; run() times image formation
+// only, as the paper does. Every run() performs an identical instruction
+// stream, so committed-instruction counts match across power caps.
+#pragma once
+
+#include <string>
+
+#include "apps/sar/rsm.hpp"
+#include "sim/workload.hpp"
+
+namespace pcap::apps::sar {
+
+class SireWorkload final : public sim::Workload {
+ public:
+  explicit SireWorkload(const SireParams& params = SireParams::paper());
+
+  std::string name() const override { return "SIRE/RSM"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+  const SireParams& params() const { return params_; }
+  const RadarData& data() const { return data_; }
+  /// Result of the most recent run (empty images before the first run).
+  const SireResult& last_result() const { return result_; }
+
+ private:
+  SireParams params_;
+  RadarData data_;
+  SireResult result_;
+};
+
+}  // namespace pcap::apps::sar

@@ -1,0 +1,42 @@
+#include "apps/stereo/annealing.hpp"
+
+namespace pcap::apps::stereo {
+
+double disparity_energy(const CostVolume& vol,
+                        const std::vector<std::uint8_t>& disparity,
+                        double lambda) {
+  double energy = 0.0;
+  for (int y = 0; y < vol.height; ++y) {
+    for (int x = 0; x < vol.width; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * vol.width + x;
+      energy += vol.at(x, y, disparity[i]);
+      if (x + 1 < vol.width) {
+        energy += lambda * std::abs(static_cast<int>(disparity[i]) -
+                                    static_cast<int>(disparity[i + 1]));
+      }
+      if (y + 1 < vol.height) {
+        energy += lambda *
+                  std::abs(static_cast<int>(disparity[i]) -
+                           static_cast<int>(
+                               disparity[i + static_cast<std::size_t>(vol.width)]));
+      }
+    }
+  }
+  return energy;
+}
+
+double disparity_accuracy(const std::vector<std::uint8_t>& disparity,
+                          const std::vector<std::uint8_t>& truth,
+                          int tolerance) {
+  if (disparity.empty() || disparity.size() != truth.size()) return 0.0;
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < disparity.size(); ++i) {
+    if (std::abs(static_cast<int>(disparity[i]) - static_cast<int>(truth[i])) <=
+        tolerance) {
+      ++good;
+    }
+  }
+  return static_cast<double>(good) / static_cast<double>(disparity.size());
+}
+
+}  // namespace pcap::apps::stereo

@@ -1,0 +1,95 @@
+#include "apps/stereo/scene.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace pcap::apps::stereo {
+
+namespace {
+
+/// 3x3 box blur, one pass (edges clamped).
+void blur(std::vector<float>& img, int w, int h) {
+  std::vector<float> out(img.size());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float sum = 0.0f;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int sy = std::clamp(y + dy, 0, h - 1);
+          const int sx = std::clamp(x + dx, 0, w - 1);
+          sum += img[static_cast<std::size_t>(sy) * w + sx];
+        }
+      }
+      out[static_cast<std::size_t>(y) * w + x] = sum / 9.0f;
+    }
+  }
+  img = std::move(out);
+}
+
+}  // namespace
+
+StereoPair make_wedding_cake(const StereoSceneConfig& config) {
+  StereoPair pair;
+  pair.width = config.width;
+  pair.height = config.height;
+  pair.max_disparity = config.max_disparity;
+  const std::size_t n = pair.pixels();
+  pair.left.assign(n, 0.0f);
+  pair.right.assign(n, 0.0f);
+  pair.truth.assign(n, static_cast<std::uint8_t>(config.background_disparity));
+
+  // Ground-truth disparity: nested centred rectangles, higher layers closer
+  // (larger disparity).
+  for (int layer = 0; layer < config.layers; ++layer) {
+    const double shrink = 0.72 - 0.22 * layer;
+    const int lw = static_cast<int>(config.width * shrink);
+    const int lh = static_cast<int>(config.height * shrink);
+    const int x0 = (config.width - lw) / 2;
+    const int y0 = (config.height - lh) / 2;
+    const int d = std::min(
+        config.background_disparity + (layer + 1) * config.layer_disparity_step,
+        config.max_disparity - 1);
+    for (int y = y0; y < y0 + lh; ++y) {
+      for (int x = x0; x < x0 + lw; ++x) {
+        pair.truth[static_cast<std::size_t>(y) * config.width + x] =
+            static_cast<std::uint8_t>(d);
+      }
+    }
+  }
+
+  // Left image: band-limited random texture (so window SSD is informative).
+  util::Rng rng(config.seed);
+  for (auto& v : pair.left) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  blur(pair.left, config.width, config.height);
+  // Boost contrast after smoothing.
+  for (auto& v : pair.left) v = (v - 0.5f) * 3.0f;
+
+  // Right image by forward warp; remember which pixels were written.
+  std::vector<std::uint8_t> filled(n, 0);
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * config.width + x;
+      const int xr = x - pair.truth[i];
+      if (xr < 0) continue;
+      const std::size_t j = static_cast<std::size_t>(y) * config.width + xr;
+      // Nearer surfaces (larger disparity) win occlusions.
+      if (!filled[j] || pair.truth[i] > filled[j]) {
+        pair.right[j] = pair.left[i];
+        filled[j] = pair.truth[i];
+      }
+    }
+  }
+  // Fill never-written right pixels from the nearest filled left neighbour.
+  for (int y = 0; y < config.height; ++y) {
+    float last = 0.0f;
+    for (int x = 0; x < config.width; ++x) {
+      const std::size_t j = static_cast<std::size_t>(y) * config.width + x;
+      if (filled[j]) last = pair.right[j];
+      else pair.right[j] = last;
+    }
+  }
+  return pair;
+}
+
+}  // namespace pcap::apps::stereo

@@ -1,0 +1,39 @@
+// Synthetic "three-layer wedding cake" stereo scene: a textured ground
+// plane with three nested raised rectangular layers, each at its own
+// disparity — the input the paper's stereo-matching experiments used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcap::apps::stereo {
+
+struct StereoSceneConfig {
+  int width = 512;
+  int height = 384;
+  int layers = 3;
+  int background_disparity = 2;
+  int layer_disparity_step = 6;  // layer k sits at bg + (k+1)*step
+  int max_disparity = 24;        // exclusive upper bound of the search range
+  std::uint64_t seed = 5;
+};
+
+struct StereoPair {
+  int width = 0;
+  int height = 0;
+  int max_disparity = 0;
+  std::vector<float> left;          // width*height luminance
+  std::vector<float> right;
+  std::vector<std::uint8_t> truth;  // ground-truth disparity per left pixel
+
+  std::size_t pixels() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+};
+
+/// Builds the pair. The right image is the left image warped by the truth
+/// disparity (right(x - d, y) = left(x, y)) with occlusion holes filled from
+/// the background.
+StereoPair make_wedding_cake(const StereoSceneConfig& config);
+
+}  // namespace pcap::apps::stereo

@@ -1,0 +1,24 @@
+#include "apps/stereo/workload.hpp"
+
+#include "apps/machine.hpp"
+
+namespace pcap::apps::stereo {
+
+StereoWorkload::StereoWorkload(const StereoParams& params)
+    : params_(params), pair_(make_wedding_cake(params.scene)) {}
+
+void StereoWorkload::run(sim::ExecutionContext& ctx) {
+  SimMachine m(ctx);
+  const Address left_addr = m.alloc(pair_.pixels() * sizeof(float));
+  const Address right_addr = m.alloc(pair_.pixels() * sizeof(float));
+  const Address volume_addr = m.alloc(static_cast<std::uint64_t>(
+      pair_.max_disparity * pair_.pixels() * sizeof(std::uint16_t)));
+  const Address disparity_addr = m.alloc(pair_.pixels());
+
+  const CostVolume vol = build_cost_volume(m, pair_, params_.window, left_addr,
+                                           right_addr, volume_addr);
+  result_ =
+      anneal_disparity(m, vol, params_.anneal, volume_addr, disparity_addr);
+}
+
+}  // namespace pcap::apps::stereo

@@ -1,0 +1,50 @@
+// sim::Workload wrapper for stereo matching with simulated annealing.
+// Scene/pair generation is offline prep; run() times cost-volume
+// construction plus the annealing optimisation, exactly once per run, with
+// a deterministic instruction stream.
+#pragma once
+
+#include <string>
+
+#include "apps/stereo/annealing.hpp"
+#include "apps/stereo/cost_volume.hpp"
+#include "apps/stereo/scene.hpp"
+#include "sim/workload.hpp"
+
+namespace pcap::apps::stereo {
+
+struct StereoParams {
+  StereoSceneConfig scene;
+  int window = 5;
+  AnnealParams anneal;
+
+  /// Paper-scale workload (512x384, 24 disparities: ~9.4 MB cost volume).
+  static StereoParams paper() { return StereoParams{}; }
+  static StereoParams quick() {
+    StereoParams p;
+    p.scene.width = 96;
+    p.scene.height = 64;
+    p.scene.max_disparity = 12;
+    p.anneal = AnnealParams::quick();
+    return p;
+  }
+};
+
+class StereoWorkload final : public sim::Workload {
+ public:
+  explicit StereoWorkload(const StereoParams& params = StereoParams::paper());
+
+  std::string name() const override { return "Stereo Matching"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+  const StereoParams& params() const { return params_; }
+  const StereoPair& pair() const { return pair_; }
+  const AnnealResult& last_result() const { return result_; }
+
+ private:
+  StereoParams params_;
+  StereoPair pair_;
+  AnnealResult result_;
+};
+
+}  // namespace pcap::apps::stereo

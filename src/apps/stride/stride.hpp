@@ -1,0 +1,83 @@
+// The Hennessy & Patterson memory-stride microbenchmark (the paper's [6]):
+// for each array size and stride, repeatedly read-modify-write elements at
+// that stride and report the average access time. The resulting surface
+// exposes the sizes, latencies, line size and associativity of every level
+// of the hierarchy (paper Fig. 3), and how they degrade under a power cap
+// (paper Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "util/units.hpp"
+
+namespace pcap::apps::stride {
+
+struct StrideConfig {
+  std::uint64_t min_array_bytes = 4 * 1024;
+  std::uint64_t max_array_bytes = 64ull * 1024 * 1024;
+  std::uint64_t min_stride_bytes = 8;
+  /// Read-modify-write touches per (array, stride) cell.
+  std::uint64_t touches_per_cell = 30000;
+
+  static StrideConfig paper() { return StrideConfig{}; }
+  static StrideConfig quick() {
+    StrideConfig c;
+    c.max_array_bytes = 1024 * 1024;
+    c.touches_per_cell = 4000;
+    return c;
+  }
+};
+
+struct StrideCell {
+  std::uint64_t array_bytes = 0;
+  std::uint64_t stride_bytes = 0;
+  double ns_per_access = 0.0;
+};
+
+struct StrideResults {
+  std::vector<StrideCell> cells;
+
+  /// Distinct array sizes / strides present, ascending.
+  std::vector<std::uint64_t> array_sizes() const;
+  std::vector<std::uint64_t> strides() const;
+  /// ns for an exact (array, stride) pair; -1 if absent.
+  double ns(std::uint64_t array_bytes, std::uint64_t stride_bytes) const;
+};
+
+/// What the stride surface reveals about the machine (paper §IV-B infers
+/// exactly these from Figure 3). Capacities are reported as the largest
+/// array that still fits the level ("between X and 2X" in the paper's
+/// wording); latencies are plateau averages at line stride.
+struct HierarchyInference {
+  std::uint64_t l1_fits_bytes = 0;
+  std::uint64_t l2_fits_bytes = 0;
+  std::uint64_t l3_fits_bytes = 0;
+  double l1_ns = 0.0;
+  double l2_ns = 0.0;
+  double l3_ns = 0.0;
+  double mem_ns = 0.0;
+  std::uint32_t line_bytes = 0;  // stride at which latency stops growing
+};
+
+/// Infers hierarchy structure from a stride surface (uses the 64 B-stride
+/// column for capacities and large-stride plateaus for latencies).
+HierarchyInference infer_hierarchy(const StrideResults& results);
+
+class StrideWorkload final : public sim::Workload {
+ public:
+  explicit StrideWorkload(const StrideConfig& config = StrideConfig::paper());
+
+  std::string name() const override { return "stride-microbench"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+  const StrideResults& results() const { return results_; }
+
+ private:
+  StrideConfig config_;
+  StrideResults results_;
+};
+
+}  // namespace pcap::apps::stride

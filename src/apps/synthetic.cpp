@@ -1,0 +1,61 @@
+#include "apps/synthetic.hpp"
+
+#include "sim/execution_context.hpp"
+
+namespace pcap::apps {
+
+void ComputeBoundWorkload::run(sim::ExecutionContext& ctx) {
+  ctx.set_code_footprint(/*region=*/8, code_pages_);
+  constexpr std::uint64_t kChunk = 512;
+  std::uint64_t remaining = total_uops_;
+  while (remaining > 0) {
+    const std::uint64_t n = remaining < kChunk ? remaining : kChunk;
+    ctx.compute(n);
+    remaining -= n;
+  }
+}
+
+void MemoryBoundWorkload::run(sim::ExecutionContext& ctx) {
+  ctx.set_code_footprint(/*region=*/9, 3);
+  const sim::Address base = ctx.alloc(working_set_);
+  std::uint64_t offset = 0;
+  for (std::uint64_t t = 0; t < touches_; ++t) {
+    ctx.load(base + offset);
+    ctx.compute(2);
+    offset += stride_;
+    if (offset >= working_set_) offset = 0;
+  }
+}
+
+void PhasedWorkload::run(sim::ExecutionContext& ctx) {
+  phase_marks_.clear();
+  util::Rng rng(params_.seed);
+  const sim::Address base = ctx.alloc(params_.working_set_bytes);
+
+  for (int phase = 0; phase < params_.phases; ++phase) {
+    const bool memory_phase = phase % 2 == 1;
+    const auto length = static_cast<std::uint64_t>(
+        static_cast<double>(params_.mean_phase_uops) * rng.uniform(0.4, 1.6));
+    if (memory_phase) {
+      ctx.set_code_footprint(/*region=*/9, 3);
+      std::uint64_t offset = 0;
+      for (std::uint64_t t = 0; t < length / 4; ++t) {
+        ctx.load(base + offset);
+        ctx.compute(2);
+        offset += 64;
+        if (offset >= params_.working_set_bytes) offset = 0;
+      }
+    } else {
+      ctx.set_code_footprint(/*region=*/8, 5);
+      std::uint64_t remaining = length;
+      while (remaining > 0) {
+        const std::uint64_t n = remaining < 512 ? remaining : 512;
+        ctx.compute(n);
+        remaining -= n;
+      }
+    }
+    phase_marks_.push_back(ctx.now());
+  }
+}
+
+}  // namespace pcap::apps

@@ -1,0 +1,76 @@
+// Synthetic workloads: controllable compute-bound, memory-bound and phased
+// (unpredictable) instruction streams. Used by unit tests, the controller
+// benches and the paper's future-work experiment on unpredictable workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pcap::apps {
+
+/// Pure arithmetic: `total_uops` committed micro-ops, no data traffic.
+class ComputeBoundWorkload final : public sim::Workload {
+ public:
+  explicit ComputeBoundWorkload(std::uint64_t total_uops,
+                                std::uint32_t code_pages = 4)
+      : total_uops_(total_uops), code_pages_(code_pages) {}
+
+  std::string name() const override { return "compute-bound"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+ private:
+  std::uint64_t total_uops_;
+  std::uint32_t code_pages_;
+};
+
+/// Streams through a working set repeatedly.
+class MemoryBoundWorkload final : public sim::Workload {
+ public:
+  MemoryBoundWorkload(std::uint64_t working_set_bytes, std::uint64_t touches,
+                      std::uint64_t stride_bytes = 64)
+      : working_set_(working_set_bytes), touches_(touches),
+        stride_(stride_bytes) {}
+
+  std::string name() const override { return "memory-bound"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+ private:
+  std::uint64_t working_set_;
+  std::uint64_t touches_;
+  std::uint64_t stride_;
+};
+
+/// Alternates compute-heavy and memory-heavy phases of random length: power
+/// demand jumps unpredictably between roughly the two pure profiles.
+struct PhasedParams {
+  int phases = 10;
+  std::uint64_t mean_phase_uops = 300000;
+  std::uint64_t working_set_bytes = 8ull * 1024 * 1024;
+  std::uint64_t seed = 17;
+};
+
+class PhasedWorkload final : public sim::Workload {
+ public:
+  using Params = PhasedParams;
+
+  explicit PhasedWorkload(const Params& params = {}) : params_(params) {}
+
+  std::string name() const override { return "phased-unpredictable"; }
+  void run(sim::ExecutionContext& ctx) override;
+
+  /// Phase boundaries (sim time) observed during the last run.
+  const std::vector<util::Picoseconds>& phase_marks() const {
+    return phase_marks_;
+  }
+
+ private:
+  Params params_;
+  std::vector<util::Picoseconds> phase_marks_;
+};
+
+}  // namespace pcap::apps

@@ -1,0 +1,87 @@
+#include "apps/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/execution_context.hpp"
+
+namespace pcap::apps {
+
+namespace {
+constexpr char kMagic[8] = {'p', 'c', 'a', 'p', 't', 'r', 'c', '1'};
+}
+
+void Trace::save(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Trace::save: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t count = ops.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& op : ops) {
+    const std::uint8_t kind = static_cast<std::uint8_t>(op.kind);
+    out.write(reinterpret_cast<const char*>(&kind), sizeof kind);
+    out.write(reinterpret_cast<const char*>(&op.value), sizeof op.value);
+    out.write(reinterpret_cast<const char*>(&op.aux), sizeof op.aux);
+  }
+  if (!out) throw std::runtime_error("Trace::save: write failed: " + path);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Trace::load: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("Trace::load: bad header in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  Trace trace;
+  trace.ops.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint8_t kind = 0;
+    TraceOp op;
+    in.read(reinterpret_cast<char*>(&kind), sizeof kind);
+    in.read(reinterpret_cast<char*>(&op.value), sizeof op.value);
+    in.read(reinterpret_cast<char*>(&op.aux), sizeof op.aux);
+    if (!in) throw std::runtime_error("Trace::load: truncated " + path);
+    if (kind > static_cast<std::uint8_t>(TraceOp::Kind::kAlloc)) {
+      throw std::runtime_error("Trace::load: bad op kind in " + path);
+    }
+    op.kind = static_cast<TraceOp::Kind>(kind);
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+void TraceReplayWorkload::run(sim::ExecutionContext& ctx) {
+  for (const auto& op : trace_.ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kLoad:
+        ctx.load(op.value);
+        break;
+      case TraceOp::Kind::kStore:
+        ctx.store(op.value);
+        break;
+      case TraceOp::Kind::kCompute:
+        ctx.compute(op.value);
+        break;
+      case TraceOp::Kind::kCodeFootprint:
+        ctx.set_code_footprint(static_cast<std::uint32_t>(op.value), op.aux);
+        break;
+      case TraceOp::Kind::kAlloc:
+        ctx.alloc(op.value);
+        break;
+    }
+  }
+}
+
+}  // namespace pcap::apps

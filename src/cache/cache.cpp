@@ -1,0 +1,171 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pcap::cache {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  if (config.line_bytes == 0 || !std::has_single_bit(config.line_bytes)) {
+    throw std::invalid_argument("Cache: line size must be a power of two");
+  }
+  if (config.ways == 0) {
+    throw std::invalid_argument("Cache: need at least one way");
+  }
+  const std::uint64_t line_way = static_cast<std::uint64_t>(config.line_bytes) * config.ways;
+  if (config.size_bytes == 0 || config.size_bytes % line_way != 0) {
+    throw std::invalid_argument("Cache: size must be a multiple of line*ways");
+  }
+  sets_ = config.size_bytes / line_way;
+  if (!std::has_single_bit(sets_)) {
+    throw std::invalid_argument("Cache: set count must be a power of two");
+  }
+  set_mask_ = sets_ - 1;
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  line_mask_ = config.line_bytes - 1;
+  active_ways_ = config.ways;
+  lines_.resize(sets_ * config.ways);
+}
+
+Cache::Line* Cache::find(Address addr) {
+  const std::uint64_t set = set_index(addr);
+  const Address tag = tag_of(addr);
+  Line* base = &lines_[set * config_.ways];
+  for (std::uint32_t w = 0; w < active_ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(Address addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+void Cache::touch(std::uint64_t set, std::uint32_t way) {
+  Line* base = &lines_[set * config_.ways];
+  const std::uint8_t old_age = base[way].age;
+  for (std::uint32_t w = 0; w < active_ways_; ++w) {
+    if (base[w].valid && base[w].age < old_age) ++base[w].age;
+  }
+  base[way].age = 0;
+}
+
+AccessOutcome Cache::access(Address addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint64_t set = set_index(addr);
+  const Address tag = tag_of(addr);
+  Line* base = &lines_[set * config_.ways];
+
+  for (std::uint32_t w = 0; w < active_ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      touch(set, w);
+      if (is_write) base[w].dirty = true;
+      ++stats_.hits;
+      return {.hit = true, .evicted_line = std::nullopt, .evicted_dirty = false};
+    }
+  }
+
+  ++stats_.misses;
+  AccessOutcome outcome;
+  outcome.hit = false;
+
+  if (is_write && !config_.write_allocate) return outcome;
+
+  // Victim: an invalid active way if any, else the LRU (max age) active way.
+  std::uint32_t victim = 0;
+  bool found_invalid = false;
+  std::uint8_t worst_age = 0;
+  for (std::uint32_t w = 0; w < active_ways_; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+    if (base[w].age >= worst_age) {
+      worst_age = base[w].age;
+      victim = w;
+    }
+  }
+  if (!found_invalid && base[victim].valid) {
+    outcome.evicted_line = addr_of(base[victim].tag);
+    outcome.evicted_dirty = base[victim].dirty;
+    ++stats_.evictions;
+  }
+  // A fill makes the new line MRU: every resident line ages by one step.
+  for (std::uint32_t w = 0; w < active_ways_; ++w) {
+    if (base[w].valid && base[w].age < 254) ++base[w].age;
+  }
+  base[victim].tag = tag;
+  base[victim].valid = true;
+  base[victim].dirty = is_write;
+  base[victim].age = 0;
+  return outcome;
+}
+
+bool Cache::contains(Address addr) const { return find(addr) != nullptr; }
+
+bool Cache::invalidate(Address addr, bool* was_dirty) {
+  Line* line = find(addr);
+  if (line == nullptr) return false;
+  if (was_dirty != nullptr) *was_dirty = line->dirty;
+  line->valid = false;
+  line->dirty = false;
+  ++stats_.invalidations;
+  return true;
+}
+
+void Cache::flush_all() {
+  for (auto& line : lines_) {
+    if (line.valid) ++stats_.invalidations;
+    line.valid = false;
+    line.dirty = false;
+    line.age = 0;
+  }
+}
+
+std::uint64_t Cache::set_active_ways(std::uint32_t n) {
+  if (n < 1) n = 1;
+  if (n > config_.ways) n = config_.ways;
+  std::uint64_t dropped = 0;
+  if (n < active_ways_) {
+    // Invalidate lines living in the ways being gated.
+    for (std::uint64_t set = 0; set < sets_; ++set) {
+      Line* base = &lines_[set * config_.ways];
+      for (std::uint32_t w = n; w < active_ways_; ++w) {
+        if (base[w].valid) {
+          base[w].valid = false;
+          base[w].dirty = false;
+          ++dropped;
+          ++stats_.invalidations;
+        }
+      }
+      // Re-normalise ages so surviving lines keep a consistent LRU order.
+      for (std::uint32_t w = 0; w < n; ++w) {
+        if (base[w].age >= n) base[w].age = static_cast<std::uint8_t>(n - 1);
+      }
+    }
+  }
+  active_ways_ = n;
+  return dropped;
+}
+
+std::uint64_t Cache::valid_lines() const {
+  std::uint64_t count = 0;
+  for (const auto& line : lines_) count += line.valid ? 1 : 0;
+  return count;
+}
+
+std::vector<Address> Cache::valid_line_addresses() const {
+  std::vector<Address> addresses;
+  for (std::uint64_t set = 0; set < sets_; ++set) {
+    const Line* base = &lines_[set * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      if (base[w].valid) {
+        addresses.push_back((base[w].tag << line_shift_));
+      }
+    }
+  }
+  return addresses;
+}
+
+}  // namespace pcap::cache

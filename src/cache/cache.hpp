@@ -1,0 +1,124 @@
+// Set-associative cache model with true-LRU replacement and way gating.
+//
+// The model is purely structural: it answers hit/miss and reports evictions;
+// latency and power are composed by the memory hierarchy and power model.
+// Way gating (set_active_ways) implements the dynamic cache reconfiguration
+// mechanism the paper hypothesises is engaged at low power caps: gated ways
+// are invalidated and excluded from allocation, shrinking effective capacity
+// and associativity while saving leakage power.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcap::cache {
+
+using Address = std::uint64_t;
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;   // power of two
+  std::uint32_t ways = 8;          // associativity
+  bool write_allocate = true;
+
+  std::uint64_t sets() const { return size_bytes / (line_bytes * ways); }
+};
+
+/// Result of one cache access.
+struct AccessOutcome {
+  bool hit = false;
+  /// When a fill evicted a valid line, its base address.
+  std::optional<Address> evicted_line;
+  bool evicted_dirty = false;
+};
+
+/// Structural statistics (separate from the PMU, which the hierarchy feeds).
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class Cache {
+ public:
+  /// Throws std::invalid_argument if the geometry is inconsistent
+  /// (non-power-of-two line size, size not divisible by line*ways, ...).
+  explicit Cache(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t sets() const { return sets_; }
+  std::uint32_t active_ways() const { return active_ways_; }
+
+  /// Looks up `addr`; on miss, allocates (for reads always; for writes only
+  /// if write_allocate). Returns the outcome including any eviction.
+  AccessOutcome access(Address addr, bool is_write);
+
+  /// True if the line containing addr is present (no LRU update).
+  bool contains(Address addr) const;
+
+  /// Invalidates the line containing addr if present. Returns true if a
+  /// valid line was dropped; sets `was_dirty` accordingly when non-null.
+  bool invalidate(Address addr, bool* was_dirty = nullptr);
+
+  /// Drops every valid line.
+  void flush_all();
+
+  /// Gates ways [n, ways): their lines are invalidated and they are excluded
+  /// from hits and allocation until re-enabled. n is clamped to [1, ways].
+  /// Returns the number of valid lines dropped.
+  std::uint64_t set_active_ways(std::uint32_t n);
+
+  /// Number of currently valid lines (for capacity assertions in tests).
+  std::uint64_t valid_lines() const;
+
+  /// Base addresses of every valid line (tests: inclusion invariants).
+  std::vector<Address> valid_line_addresses() const;
+
+  /// Effective capacity with the current gating, in bytes.
+  std::uint64_t effective_size_bytes() const {
+    return sets_ * active_ways_ * config_.line_bytes;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  Address line_base(Address addr) const { return addr & ~line_mask_; }
+
+ private:
+  struct Line {
+    Address tag = 0;
+    std::uint8_t age = 0;  // 0 == most recently used within the set
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_index(Address addr) const {
+    return (addr >> line_shift_) & set_mask_;
+  }
+  Address tag_of(Address addr) const { return addr >> line_shift_; }
+  Address addr_of(Address tag) const { return tag << line_shift_; }
+  Line* find(Address addr);
+  const Line* find(Address addr) const;
+  void touch(std::uint64_t set, std::uint32_t way);
+
+  CacheConfig config_;
+  std::uint64_t sets_ = 0;
+  std::uint64_t set_mask_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t line_mask_ = 0;
+  std::uint32_t active_ways_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  CacheStats stats_;
+};
+
+}  // namespace pcap::cache

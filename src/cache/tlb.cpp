@@ -1,0 +1,65 @@
+#include "cache/tlb.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pcap::cache {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  if (config.page_bytes == 0 || !std::has_single_bit(config.page_bytes)) {
+    throw std::invalid_argument("Tlb: page size must be a power of two");
+  }
+  if (config.entries == 0) {
+    throw std::invalid_argument("Tlb: need at least one entry");
+  }
+  page_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.page_bytes));
+  active_entries_ = config.entries;
+  entries_.resize(config.entries);
+}
+
+bool Tlb::lookup(std::uint64_t vaddr) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t page = page_of(vaddr);
+
+  Entry* lru = &entries_[0];
+  for (std::uint32_t i = 0; i < active_entries_; ++i) {
+    Entry& e = entries_[i];
+    if (e.valid && e.page == page) {
+      e.last_use = tick_;
+      return true;
+    }
+    if (!e.valid) {
+      lru = &e;  // prefer an empty slot
+    } else if (lru->valid && e.last_use < lru->last_use) {
+      lru = &e;
+    }
+  }
+
+  ++stats_.misses;
+  lru->page = page;
+  lru->valid = true;
+  lru->last_use = tick_;
+  return false;
+}
+
+bool Tlb::contains(std::uint64_t vaddr) const {
+  const std::uint64_t page = page_of(vaddr);
+  for (std::uint32_t i = 0; i < active_entries_; ++i) {
+    if (entries_[i].valid && entries_[i].page == page) return true;
+  }
+  return false;
+}
+
+void Tlb::set_active_entries(std::uint32_t n) {
+  if (n < 1) n = 1;
+  if (n > config_.entries) n = config_.entries;
+  for (std::uint32_t i = n; i < active_entries_; ++i) entries_[i].valid = false;
+  active_entries_ = n;
+}
+
+void Tlb::flush() {
+  for (auto& e : entries_) e.valid = false;
+}
+
+}  // namespace pcap::cache

@@ -1,0 +1,77 @@
+// Fully-associative translation lookaside buffer with LRU replacement and
+// entry gating (the power-saving mechanism that produces the paper's
+// instruction-TLB miss explosions at low power caps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcap::cache {
+
+struct TlbConfig {
+  std::string name = "tlb";
+  std::uint32_t entries = 64;
+  std::uint32_t page_bytes = 4096;  // power of two
+};
+
+struct TlbStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+
+  double miss_rate() const {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class Tlb {
+ public:
+  /// Throws std::invalid_argument on a non-power-of-two page size or zero
+  /// entry count.
+  explicit Tlb(const TlbConfig& config);
+
+  const TlbConfig& config() const { return config_; }
+  std::uint32_t active_entries() const { return active_entries_; }
+
+  /// Translates the page of `vaddr`. Returns true on a TLB hit; on a miss
+  /// the translation is installed (evicting the LRU entry if full).
+  bool lookup(std::uint64_t vaddr);
+
+  /// True if the page is currently cached (no LRU update).
+  bool contains(std::uint64_t vaddr) const;
+
+  /// Gates entries [n, entries): flushed and excluded until re-enabled.
+  /// n is clamped to [1, entries].
+  void set_active_entries(std::uint32_t n);
+
+  void flush();
+
+  /// Pages the TLB can map with current gating.
+  std::uint64_t reach_bytes() const {
+    return static_cast<std::uint64_t>(active_entries_) * config_.page_bytes;
+  }
+
+  const TlbStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TlbStats{}; }
+
+ private:
+  struct Entry {
+    std::uint64_t page = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  std::uint64_t page_of(std::uint64_t vaddr) const {
+    return vaddr >> page_shift_;
+  }
+
+  TlbConfig config_;
+  std::uint32_t page_shift_ = 12;
+  std::uint32_t active_entries_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<Entry> entries_;
+  TlbStats stats_;
+};
+
+}  // namespace pcap::cache

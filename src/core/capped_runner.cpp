@@ -1,0 +1,24 @@
+#include "core/capped_runner.hpp"
+
+namespace pcap::core {
+
+CappedRunner::CappedRunner(sim::Node& node, const BmcConfig& bmc_config)
+    : node_(&node), bmc_(node, bmc_config) {
+  node_->set_control_hook(
+      [this](sim::PlatformControl&) { bmc_.on_control_tick(); });
+}
+
+CappedRunner::~CappedRunner() { node_->set_control_hook(nullptr); }
+
+sim::RunReport CappedRunner::run(sim::Workload& workload,
+                                 std::optional<double> cap_w) {
+  node_->hierarchy().flush_caches();
+  node_->hierarchy().flush_tlbs();
+  bmc_.set_cap(std::nullopt);  // resets throttle state to the top
+  bmc_.set_cap(cap_w);
+  sim::RunReport report = node_->run(workload);
+  bmc_.set_cap(std::nullopt);
+  return report;
+}
+
+}  // namespace pcap::core

@@ -1,0 +1,34 @@
+// Convenience wiring used by the harness, the amenability analyzer and the
+// examples: one node + one BMC, with per-run cold-start hygiene matching the
+// paper's methodology (each measurement is an independent execution).
+#pragma once
+
+#include <optional>
+
+#include "core/bmc.hpp"
+#include "sim/node.hpp"
+
+namespace pcap::core {
+
+class CappedRunner {
+ public:
+  explicit CappedRunner(sim::Node& node, const BmcConfig& bmc_config = {});
+  ~CappedRunner();
+
+  CappedRunner(const CappedRunner&) = delete;
+  CappedRunner& operator=(const CappedRunner&) = delete;
+
+  Bmc& bmc() { return bmc_; }
+  sim::Node& node() { return *node_; }
+
+  /// Runs the workload under `cap_w` (std::nullopt == baseline, uncapped).
+  /// Caches and TLBs start cold, the BMC starts at the unthrottled level,
+  /// and capping is released after the run.
+  sim::RunReport run(sim::Workload& workload, std::optional<double> cap_w);
+
+ private:
+  sim::Node* node_;
+  Bmc bmc_;
+};
+
+}  // namespace pcap::core

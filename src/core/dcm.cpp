@@ -1,0 +1,205 @@
+#include "core/dcm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pcap::core {
+
+std::optional<ipmi::DeviceId> ManagedNode::device_id() {
+  return ipmi::decode_device_id(session_.transact(ipmi::make_get_device_id()));
+}
+
+std::optional<ipmi::PowerReading> ManagedNode::power_reading() {
+  return ipmi::decode_power_reading(
+      session_.transact(ipmi::make_get_power_reading()));
+}
+
+std::optional<ipmi::Capabilities> ManagedNode::capabilities() {
+  return ipmi::decode_capabilities(
+      session_.transact(ipmi::make_get_capabilities()));
+}
+
+std::optional<ipmi::PowerLimit> ManagedNode::power_limit() {
+  return ipmi::decode_power_limit(
+      session_.transact(ipmi::make_get_power_limit()));
+}
+
+std::optional<ipmi::ThrottleStatus> ManagedNode::throttle_status() {
+  return ipmi::decode_throttle_status(
+      session_.transact(ipmi::make_get_throttle_status()));
+}
+
+bool ManagedNode::set_cap(std::optional<double> watts) {
+  ipmi::PowerLimit limit;
+  limit.enabled = watts.has_value();
+  limit.limit_w = watts.value_or(0.0);
+  return session_.transact(ipmi::make_set_power_limit(limit)).ok();
+}
+
+DataCenterManager::Entry* DataCenterManager::find(const std::string& name) {
+  for (auto& e : nodes_) {
+    if (e.node->name() == name) return &e;
+  }
+  return nullptr;
+}
+
+const DataCenterManager::Entry* DataCenterManager::find(
+    const std::string& name) const {
+  for (const auto& e : nodes_) {
+    if (e.node->name() == name) return &e;
+  }
+  return nullptr;
+}
+
+bool DataCenterManager::add_node(const std::string& name,
+                                 ipmi::Transport& transport) {
+  if (find(name) != nullptr) return false;
+  auto node = std::make_unique<ManagedNode>(name, transport);
+  if (!node->device_id()) return false;  // discovery probe
+  Entry e;
+  e.node = std::move(node);
+  nodes_.push_back(std::move(e));
+  return true;
+}
+
+ManagedNode* DataCenterManager::node(const std::string& name) {
+  Entry* e = find(name);
+  return e ? e->node.get() : nullptr;
+}
+
+std::vector<std::string> DataCenterManager::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& e : nodes_) names.push_back(e.node->name());
+  return names;
+}
+
+bool DataCenterManager::apply_node_cap(const std::string& name,
+                                       std::optional<double> watts) {
+  Entry* e = find(name);
+  if (e == nullptr) return false;
+  return e->node->set_cap(watts);
+}
+
+std::vector<std::pair<std::string, double>> DataCenterManager::apply_group_cap(
+    double total_w) {
+  std::vector<std::pair<std::string, double>> applied;
+  if (nodes_.empty()) return applied;
+
+  struct NodePlan {
+    Entry* entry;
+    double demand_w;
+    double floor_w;
+    double ceiling_w;
+  };
+  std::vector<NodePlan> plans;
+  double floor_sum = 0.0;
+  double demand_sum = 0.0;
+  for (auto& e : nodes_) {
+    const auto reading = e.node->power_reading();
+    const auto caps = e.node->capabilities();
+    if (!reading || !caps) return applied;  // abort on telemetry failure
+    NodePlan p{&e, std::max(reading->average_w, reading->current_w),
+               caps->min_cap_w, caps->max_cap_w};
+    if (p.demand_w <= 0.0) p.demand_w = p.floor_w;
+    p.demand_w *= static_cast<double>(e.priority);
+    floor_sum += p.floor_w;
+    demand_sum += p.demand_w;
+    plans.push_back(p);
+  }
+  if (total_w < floor_sum || demand_sum <= 0.0) return applied;
+
+  // Every node gets its floor; the surplus is split by demand share and
+  // clamped to the node ceiling (leftover from clamping is not re-spread —
+  // the budget is a limit, not a quota).
+  const double surplus = total_w - floor_sum;
+  for (auto& p : plans) {
+    const double share = p.demand_w / demand_sum;
+    const double cap = std::min(p.floor_w + surplus * share, p.ceiling_w);
+    if (!p.entry->node->set_cap(cap)) {
+      applied.clear();
+      return applied;
+    }
+    applied.emplace_back(p.entry->node->name(), cap);
+  }
+  return applied;
+}
+
+void DataCenterManager::clear_caps() {
+  for (auto& e : nodes_) e.node->set_cap(std::nullopt);
+}
+
+bool DataCenterManager::set_node_priority(const std::string& name,
+                                          int priority) {
+  Entry* e = find(name);
+  if (e == nullptr || priority < 1) return false;
+  e->priority = priority;
+  return true;
+}
+
+int DataCenterManager::node_priority(const std::string& name) const {
+  const Entry* e = find(name);
+  return e ? e->priority : 0;
+}
+
+bool DataCenterManager::set_cap_schedule(const std::string& name,
+                                         std::vector<ScheduledCap> schedule) {
+  Entry* e = find(name);
+  if (e == nullptr) return false;
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    if (schedule[i].at_poll < schedule[i - 1].at_poll) return false;
+  }
+  e->schedule = std::move(schedule);
+  e->schedule_next = 0;
+  return true;
+}
+
+void DataCenterManager::poll() {
+  ++poll_seq_;
+  for (auto& e : nodes_) {
+    // Fire any due scheduled cap changes first.
+    while (e.schedule_next < e.schedule.size() &&
+           e.schedule[e.schedule_next].at_poll <= poll_seq_) {
+      e.node->set_cap(e.schedule[e.schedule_next].cap_w);
+      ++e.schedule_next;
+    }
+  }
+  for (auto& e : nodes_) {
+    const auto reading = e.node->power_reading();
+    if (!reading) continue;
+    e.history.push_back({poll_seq_, reading->current_w, reading->average_w});
+    while (e.history.size() > config_.history_depth) e.history.pop_front();
+
+    const auto limit = e.node->power_limit();
+    if (limit && limit->enabled &&
+        reading->current_w >
+            limit->limit_w + config_.cap_violation_tolerance_w) {
+      if (++e.consecutive_violations >= config_.violation_polls) {
+        alerts_.push_back(
+            {poll_seq_, e.node->name(),
+             "cap missed: drawing " + std::to_string(reading->current_w) +
+                 " W against a " + std::to_string(limit->limit_w) +
+                 " W limit (throttling floor reached)"});
+        e.consecutive_violations = 0;
+      }
+    } else {
+      e.consecutive_violations = 0;
+    }
+  }
+}
+
+const std::deque<PowerSample>* DataCenterManager::history(
+    const std::string& name) const {
+  const Entry* e = find(name);
+  return e ? &e->history : nullptr;
+}
+
+double DataCenterManager::total_observed_power_w() const {
+  double total = 0.0;
+  for (const auto& e : nodes_) {
+    if (!e.history.empty()) total += e.history.back().current_w;
+  }
+  return total;
+}
+
+}  // namespace pcap::core

@@ -1,0 +1,138 @@
+// Data Center Manager analog: a management server that discovers nodes'
+// BMCs over IPMI, applies power-capping policies (per-node and group
+// budgets), polls power telemetry into history, and raises alerts when an
+// enforced cap is being missed (the throttling-floor condition the paper
+// observed at 120 W).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipmi/commands.hpp"
+#include "ipmi/transport.hpp"
+
+namespace pcap::core {
+
+/// Client-side handle to one node's BMC.
+class ManagedNode {
+ public:
+  ManagedNode(std::string name, ipmi::Transport& transport)
+      : name_(std::move(name)), session_(transport) {}
+
+  const std::string& name() const { return name_; }
+
+  // Each call is one IPMI transaction; nullopt means the transaction failed.
+  std::optional<ipmi::DeviceId> device_id();
+  std::optional<ipmi::PowerReading> power_reading();
+  std::optional<ipmi::Capabilities> capabilities();
+  std::optional<ipmi::PowerLimit> power_limit();
+  std::optional<ipmi::ThrottleStatus> throttle_status();
+  bool set_cap(std::optional<double> watts);
+
+  std::uint64_t transport_errors() const { return session_.transport_errors(); }
+
+ private:
+  std::string name_;
+  ipmi::Session session_;
+};
+
+struct PowerSample {
+  std::uint64_t poll_seq = 0;
+  double current_w = 0.0;
+  double average_w = 0.0;
+};
+
+struct Alert {
+  std::uint64_t poll_seq = 0;
+  std::string node;
+  std::string message;
+};
+
+struct DcmConfig {
+  std::size_t history_depth = 256;
+  double cap_violation_tolerance_w = 2.0;
+  /// Consecutive violating polls before an alert is raised.
+  std::uint32_t violation_polls = 3;
+};
+
+class DataCenterManager {
+ public:
+  explicit DataCenterManager(const DcmConfig& config = {}) : config_(config) {}
+
+  /// Registers a node reachable through `transport`. Returns false if the
+  /// name is taken or the BMC does not answer a DeviceId probe.
+  bool add_node(const std::string& name, ipmi::Transport& transport);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  ManagedNode* node(const std::string& name);
+  std::vector<std::string> node_names() const;
+
+  // --- policies ---
+  /// Caps one node; watts == nullopt uncaps. Returns false on unknown node
+  /// or a failed transaction.
+  bool apply_node_cap(const std::string& name, std::optional<double> watts);
+
+  /// Distributes a total group budget across all nodes in proportion to
+  /// their current demand (measured average power) weighted by priority,
+  /// clamped to each node's enforceable range. Returns the per-node caps
+  /// actually applied (empty on failure or if the budget is below the sum
+  /// of the nodes' floors).
+  std::vector<std::pair<std::string, double>> apply_group_cap(double total_w);
+
+  /// Priority weight for group budgeting (default 1; higher = larger share
+  /// of the surplus). Returns false for an unknown node or weight < 1.
+  bool set_node_priority(const std::string& name, int priority);
+  int node_priority(const std::string& name) const;
+
+  /// Removes caps from every node.
+  void clear_caps();
+
+  /// Scheduled capping: each entry fires during the poll whose sequence
+  /// number reaches `at_poll` (polls are the DCM's clock), setting or
+  /// clearing the node's cap. Models duty-windows on a fielded generator or
+  /// a data-center demand-response program. Replaces any prior schedule;
+  /// entries must be sorted by at_poll (returns false otherwise or for an
+  /// unknown node).
+  struct ScheduledCap {
+    std::uint64_t at_poll = 0;
+    std::optional<double> cap_w;  // nullopt == uncap
+  };
+  bool set_cap_schedule(const std::string& name,
+                        std::vector<ScheduledCap> schedule);
+
+  // --- monitoring ---
+  /// One monitoring sweep: reads every node's power, appends to history,
+  /// evaluates alert conditions.
+  void poll();
+
+  const std::deque<PowerSample>* history(const std::string& name) const;
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  std::uint64_t poll_count() const { return poll_seq_; }
+
+  /// Sum of the latest current_w across nodes (0 if never polled).
+  double total_observed_power_w() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<ManagedNode> node;
+    std::deque<PowerSample> history;
+    std::uint32_t consecutive_violations = 0;
+    std::vector<ScheduledCap> schedule;
+    std::size_t schedule_next = 0;
+    int priority = 1;
+  };
+
+  Entry* find(const std::string& name);
+  const Entry* find(const std::string& name) const;
+
+  DcmConfig config_;
+  std::vector<Entry> nodes_;
+  std::vector<Alert> alerts_;
+  std::uint64_t poll_seq_ = 0;
+};
+
+}  // namespace pcap::core

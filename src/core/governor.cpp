@@ -1,0 +1,30 @@
+#include "core/governor.hpp"
+
+#include <algorithm>
+
+namespace pcap::core {
+
+MemoryAwareGovernor::MemoryAwareGovernor(sim::PlatformControl& platform,
+                                         const GovernorConfig& config)
+    : platform_(&platform), config_(config) {}
+
+void MemoryAwareGovernor::on_tick() {
+  ++decisions_;
+  const double stall = platform_->memory_stall_fraction();
+  const std::uint32_t current = platform_->pstate();
+  const std::uint32_t deepest =
+      std::min(config_.max_pstate, platform_->pstate_count() - 1);
+
+  if (stall > config_.high_stall && current < deepest) {
+    platform_->set_pstate(std::min(current + config_.down_step, deepest));
+    ++downshifts_;
+  } else if (stall < config_.low_stall && current > 0) {
+    platform_->set_pstate(
+        current > config_.up_step ? current - config_.up_step : 0);
+    ++upshifts_;
+  }
+}
+
+void MemoryAwareGovernor::reset() { platform_->set_pstate(0); }
+
+}  // namespace pcap::core

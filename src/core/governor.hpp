@@ -1,0 +1,56 @@
+// Memory-aware OS-side DVFS governor — the in-band counterpart to the BMC's
+// out-of-band capping, for the "what saves energy?" comparison the paper's
+// §II-B motivates.
+//
+// Policy: when the core is stalled on memory most of the time, frequency is
+// wasted (the DRAM does not speed up with the core clock), so step the
+// P-state down; when the workload turns compute-bound, race back up. Unlike
+// the BMC it has no power target and no ladder below DVFS — it trades a
+// small, bounded slowdown for genuine energy savings on memory-bound
+// phases, where capping can only ever lose energy (race-to-idle ablation).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/platform_control.hpp"
+
+namespace pcap::core {
+
+struct GovernorConfig {
+  /// Stall fraction above which the clock steps down.
+  double high_stall = 0.45;
+  /// Stall fraction below which the clock races back toward P0.
+  double low_stall = 0.25;
+  /// P-state steps per decision in each direction.
+  std::uint32_t down_step = 1;
+  std::uint32_t up_step = 4;
+  /// Deepest P-state the governor may select (it never duty-cycles or
+  /// reconfigures caches — those are capping mechanisms).
+  std::uint32_t max_pstate = 15;
+};
+
+class MemoryAwareGovernor {
+ public:
+  explicit MemoryAwareGovernor(sim::PlatformControl& platform,
+                               const GovernorConfig& config = {});
+
+  /// Decision step; wire into Node::set_control_hook.
+  void on_tick();
+
+  /// Re-enables P0 (e.g. when handing control back to a capping policy).
+  void reset();
+
+  const GovernorConfig& config() const { return config_; }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t downshifts() const { return downshifts_; }
+  std::uint64_t upshifts() const { return upshifts_; }
+
+ private:
+  sim::PlatformControl* platform_;
+  GovernorConfig config_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t downshifts_ = 0;
+  std::uint64_t upshifts_ = 0;
+};
+
+}  // namespace pcap::core

@@ -1,0 +1,61 @@
+#include "harness/agreement.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pcap::harness {
+
+double signed_log(double x) {
+  return x >= 0 ? std::log1p(x) : -std::log1p(-x);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+ShapeAgreement shape_agreement(const StudyResult& study,
+                               std::span<const PaperRow> reference) {
+  ShapeAgreement agreement;
+  std::vector<double> mt, pt, mp, pp, me, pe;
+  const CellStats& base = study.baseline;
+  for (const auto& cell : study.capped) {
+    if (!cell.cap_w) continue;
+    const PaperRow* row = nullptr;
+    for (const auto& r : reference) {
+      if (r.cap_w && *r.cap_w == *cell.cap_w) row = &r;
+    }
+    if (row == nullptr) continue;
+    mt.push_back(signed_log(StudyResult::pct(cell.time_s, base.time_s)));
+    pt.push_back(signed_log(row->pct_time));
+    mp.push_back(signed_log(StudyResult::pct(cell.avg_power_w, base.avg_power_w)));
+    pp.push_back(signed_log(row->pct_power));
+    me.push_back(signed_log(StudyResult::pct(cell.energy_j, base.energy_j)));
+    pe.push_back(signed_log(row->pct_energy));
+    ++agreement.caps_compared;
+  }
+  agreement.time = pearson(mt, pt);
+  agreement.power = pearson(mp, pp);
+  agreement.energy = pearson(me, pe);
+  agreement.overall = (agreement.time + agreement.power + agreement.energy) / 3.0;
+  return agreement;
+}
+
+}  // namespace pcap::harness

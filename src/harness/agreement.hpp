@@ -1,0 +1,34 @@
+// Quantitative shape agreement between a measured study and the paper's
+// published rows: Pearson correlation on signed-log-scaled percent-diff
+// columns across the cap grid. 1.0 = identical shape; the log scaling keeps
+// the 120 W explosions from dominating the mid-cap structure.
+#pragma once
+
+#include <span>
+
+#include "harness/experiment.hpp"
+#include "harness/paper_reference.hpp"
+
+namespace pcap::harness {
+
+struct ShapeAgreement {
+  double time = 0.0;
+  double power = 0.0;
+  double energy = 0.0;
+  double overall = 0.0;  // mean of the three
+  int caps_compared = 0;
+};
+
+/// Correlates the study's capped cells against the matching paper rows
+/// (cells whose cap has no paper row are skipped).
+ShapeAgreement shape_agreement(const StudyResult& study,
+                               std::span<const PaperRow> reference);
+
+/// Pearson correlation of two equal-length samples (0 for n < 2 or zero
+/// variance).
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Signed log scaling: sign(x) * log1p(|x|).
+double signed_log(double x);
+
+}  // namespace pcap::harness

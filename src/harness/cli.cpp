@@ -1,0 +1,39 @@
+#include "harness/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace pcap::harness {
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    auto value_of = [&](std::string_view prefix) -> std::string_view {
+      return arg.substr(prefix.size());
+    };
+    if (arg == "--full") {
+      options.full = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      options.reps = std::atoi(std::string(value_of("--reps=")).c_str());
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = static_cast<std::size_t>(
+          std::atoi(std::string(value_of("--jobs=")).c_str()));
+      if (options.jobs == 0) options.jobs = 1;
+    } else if (arg.rfind("--csv-dir=", 0) == 0) {
+      options.csv_dir = std::string(value_of("--csv-dir="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = static_cast<std::uint64_t>(
+          std::atoll(std::string(value_of("--seed=")).c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "flags: --full --reps=N --jobs=N --csv-dir=PATH --seed=N\n"
+          "  --full uses paper-scale repetitions; default is a quick run.\n");
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+}  // namespace pcap::harness

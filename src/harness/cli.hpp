@@ -1,0 +1,32 @@
+// Tiny flag parser shared by the bench binaries:
+//   --full            paper-scale repetitions/grids (benches default quick)
+//   --reps=N          repetition override
+//   --jobs=N          worker threads for independent cells
+//   --csv-dir=PATH    where result CSVs land (default "results")
+//   --seed=N
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcap::harness {
+
+struct CliOptions {
+  bool full = false;
+  int reps = -1;  // -1: bench default
+  std::size_t jobs = 1;
+  std::string csv_dir = "results";
+  std::uint64_t seed = 1;
+
+  /// Effective repetitions: explicit --reps wins, else full ? 5 : quick_reps.
+  int repetitions(int quick_reps) const {
+    if (reps > 0) return reps;
+    return full ? 5 : quick_reps;
+  }
+};
+
+/// Parses known flags; unknown arguments are ignored (google-benchmark
+/// passes its own). Exits with a usage message on --help.
+CliOptions parse_cli(int argc, char** argv);
+
+}  // namespace pcap::harness

@@ -1,0 +1,97 @@
+#include "harness/experiment.hpp"
+
+#include <cmath>
+
+#include "core/capped_runner.hpp"
+#include "sim/node.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pcap::harness {
+
+namespace {
+
+CellStats run_cell(core::CappedRunner& runner, sim::Workload& workload,
+                   std::optional<double> cap_w, int repetitions) {
+  CellStats cell;
+  cell.cap_w = cap_w;
+  cell.repetitions = repetitions;
+  util::RunningStats time_stats;
+  util::RunningStats power_stats;
+  double freq_sum = 0.0;
+  for (int r = 0; r < repetitions; ++r) {
+    const sim::RunReport report = runner.run(workload, cap_w);
+    time_stats.add(util::to_seconds(report.elapsed));
+    power_stats.add(report.avg_power_w);
+    cell.energy_j += report.energy_j;
+    freq_sum += static_cast<double>(report.avg_frequency);
+    cell.avg_duty += report.avg_duty;
+    for (std::size_t i = 0; i < pmu::kEventCount; ++i) {
+      cell.counters[i] += static_cast<double>(report.counters[i]);
+    }
+  }
+  const double n = repetitions > 0 ? repetitions : 1;
+  cell.time_s = time_stats.mean();
+  cell.time_stddev_s = time_stats.stddev();
+  cell.avg_power_w = power_stats.mean();
+  cell.power_stddev_w = power_stats.stddev();
+  cell.energy_j /= n;
+  cell.avg_frequency = static_cast<util::Hertz>(freq_sum / n);
+  cell.avg_duty /= n;
+  for (auto& c : cell.counters) c /= n;
+  return cell;
+}
+
+}  // namespace
+
+const CellStats* StudyResult::cell(double cap_w) const {
+  for (const auto& c : capped) {
+    if (c.cap_w && *c.cap_w == cap_w) return &c;
+  }
+  return nullptr;
+}
+
+double StudyResult::pct(double value, double base) {
+  return base != 0.0 ? (value - base) / base * 100.0 : 0.0;
+}
+
+StudyResult run_power_cap_study(const std::string& workload_name,
+                                const WorkloadFactory& factory,
+                                const StudyConfig& config) {
+  StudyResult result;
+  result.workload = workload_name;
+  result.capped.resize(config.caps_w.size());
+
+  if (config.jobs <= 1) {
+    sim::Node node(config.machine, config.seed);
+    core::CappedRunner runner(node, config.bmc);
+    const std::unique_ptr<sim::Workload> workload = factory();
+    result.baseline =
+        run_cell(runner, *workload, std::nullopt, config.repetitions);
+    for (std::size_t i = 0; i < config.caps_w.size(); ++i) {
+      result.capped[i] = run_cell(runner, *workload, config.caps_w[i],
+                                  config.repetitions);
+    }
+    return result;
+  }
+
+  // Parallel: cell 0 is the baseline, cells 1.. are the caps; each cell owns
+  // an independent node + workload (identical seeds, so identical streams).
+  const std::size_t cells = config.caps_w.size() + 1;
+  std::vector<CellStats> computed(cells);
+  util::parallel_for(cells, config.jobs, [&](std::size_t i) {
+    sim::Node node(config.machine, config.seed);
+    core::CappedRunner runner(node, config.bmc);
+    const std::unique_ptr<sim::Workload> workload = factory();
+    const std::optional<double> cap =
+        i == 0 ? std::nullopt : std::optional<double>(config.caps_w[i - 1]);
+    computed[i] = run_cell(runner, *workload, cap, config.repetitions);
+  });
+  result.baseline = computed[0];
+  for (std::size_t i = 0; i < config.caps_w.size(); ++i) {
+    result.capped[i] = computed[i + 1];
+  }
+  return result;
+}
+
+}  // namespace pcap::harness

@@ -1,0 +1,68 @@
+// Power-cap study runner: executes a workload at baseline and across a grid
+// of power caps, N repetitions each, averaging the measurements exactly as
+// the paper's methodology (§III) prescribes.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bmc.hpp"
+#include "pmu/events.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/workload.hpp"
+#include "util/units.hpp"
+
+namespace pcap::harness {
+
+/// Creates a fresh workload instance (used when cells run on worker threads,
+/// each with its own node).
+using WorkloadFactory = std::function<std::unique_ptr<sim::Workload>()>;
+
+struct StudyConfig {
+  std::vector<double> caps_w = {160, 155, 150, 145, 140, 135, 130, 125, 120};
+  int repetitions = 5;
+  std::size_t jobs = 1;  // >1: one node per cell, cells run concurrently
+  sim::MachineConfig machine = sim::MachineConfig::romley();
+  core::BmcConfig bmc;
+  std::uint64_t seed = 1;
+};
+
+/// Averaged measurements for one (workload, cap) cell.
+struct CellStats {
+  std::optional<double> cap_w;  // nullopt == baseline (no cap)
+  int repetitions = 0;
+  double time_s = 0.0;
+  double time_stddev_s = 0.0;
+  double avg_power_w = 0.0;
+  double power_stddev_w = 0.0;
+  double energy_j = 0.0;
+  util::Hertz avg_frequency = 0;
+  double avg_duty = 1.0;
+  std::array<double, pmu::kEventCount> counters{};  // averaged over reps
+
+  double counter(pmu::Event e) const { return counters[pmu::index_of(e)]; }
+};
+
+struct StudyResult {
+  std::string workload;
+  CellStats baseline;
+  std::vector<CellStats> capped;  // ordered as StudyConfig::caps_w
+
+  /// Cell at exactly `cap_w`; nullptr if absent.
+  const CellStats* cell(double cap_w) const;
+  /// Baseline-relative percent difference helper.
+  static double pct(double value, double base);
+};
+
+/// Runs the full study. With jobs == 1 everything runs on the calling
+/// thread on a single node (deterministic order); with jobs > 1 each cell
+/// gets its own node and workload instance.
+StudyResult run_power_cap_study(const std::string& workload_name,
+                                const WorkloadFactory& factory,
+                                const StudyConfig& config);
+
+}  // namespace pcap::harness

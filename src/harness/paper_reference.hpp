@@ -1,0 +1,46 @@
+// The paper's published measurements (Tables I and II), embedded so every
+// bench can print paper-vs-measured side by side and EXPERIMENTS.md can be
+// regenerated. Percent columns are the paper's own rounded values.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace pcap::harness {
+
+struct PaperRow {
+  std::string_view label;       // "A0".."A9" / "B0".."B9"
+  std::optional<double> cap_w;  // nullopt == baseline
+  double power_w;
+  double pct_power;
+  double energy_j;
+  double pct_energy;
+  double freq_mhz;
+  double pct_freq;
+  double time_s;
+  double pct_time;
+  double pct_l1;
+  double pct_l2;
+  double pct_l3;
+  double pct_tlb_d;
+  double pct_tlb_i;
+};
+
+/// Stereo Matching rows A0..A9 (baseline + caps 160..120 W).
+std::span<const PaperRow> paper_stereo_rows();
+
+/// SIRE/RSM rows B0..B9.
+std::span<const PaperRow> paper_sire_rows();
+
+struct PaperBaseline {
+  std::string_view code;
+  std::string_view input;
+  double power_w;
+  double time_s;
+};
+
+/// Table I.
+std::span<const PaperBaseline> paper_table1();
+
+}  // namespace pcap::harness

@@ -1,0 +1,354 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace pcap::harness {
+
+namespace {
+
+using util::TextTable;
+
+std::string cap_label(const std::optional<double>& cap) {
+  if (!cap) return "baseline";
+  return TextTable::num(static_cast<std::uint64_t>(std::llround(*cap)));
+}
+
+std::string time_hms(double seconds) {
+  return util::format_duration(util::seconds(seconds));
+}
+
+const PaperRow* reference_row(std::span<const PaperRow> reference,
+                              const std::optional<double>& cap) {
+  for (const auto& r : reference) {
+    if (r.cap_w == cap) return &r;
+  }
+  return nullptr;
+}
+
+/// All cells of a study in paper order: baseline first, then the cap grid.
+std::vector<const CellStats*> ordered_cells(const StudyResult& study) {
+  std::vector<const CellStats*> cells;
+  cells.push_back(&study.baseline);
+  for (const auto& c : study.capped) cells.push_back(&c);
+  return cells;
+}
+
+}  // namespace
+
+void render_table1(std::ostream& os, std::span<const StudyResult> studies) {
+  os << "Table I: baseline power consumption and execution time "
+        "(measured on the simulated node vs the paper)\n";
+  TextTable t({"Code", "Avg Node Power (W)", "Paper (W)", "Execution Time",
+               "Paper Time", "Time x vs paper scale"});
+  for (const auto& study : studies) {
+    const PaperBaseline* ref = nullptr;
+    for (const auto& r : paper_table1()) {
+      if (study.workload.find(r.code.substr(0, 4)) != std::string::npos) {
+        ref = &r;
+      }
+    }
+    std::vector<std::string> row;
+    row.push_back(study.workload);
+    row.push_back(TextTable::num(study.baseline.avg_power_w, 1));
+    row.push_back(ref ? TextTable::num(ref->power_w, 0) : "-");
+    row.push_back(time_hms(study.baseline.time_s));
+    row.push_back(ref ? time_hms(ref->time_s) : "-");
+    row.push_back(ref && study.baseline.time_s > 0
+                      ? TextTable::num(ref->time_s / study.baseline.time_s, 0)
+                      : "-");
+    t.add_row(std::move(row));
+  }
+  t.render(os);
+  os << "(The simulator compresses time; the paper-vs-measured *ratios* "
+        "between the two applications are the comparable quantity.)\n";
+}
+
+void render_table2(std::ostream& os, const StudyResult& study,
+                   std::span<const PaperRow> reference) {
+  const auto cells = ordered_cells(study);
+  const CellStats& base = study.baseline;
+
+  os << "Table II (" << study.workload
+     << "): performance data averaged over " << base.repetitions
+     << " runs; %diff columns are relative to the uncapped baseline.\n";
+
+  TextTable perf({"Expt", "Cap (W)", "Power (W)", "%Dp", "paper%Dp",
+                  "Energy (J)", "%DE", "paper%DE", "Freq (MHz)", "Time",
+                  "%Dt", "paper%Dt"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellStats& c = *cells[i];
+    const PaperRow* ref = reference_row(reference, c.cap_w);
+    std::vector<std::string> row;
+    row.push_back(ref ? std::string(ref->label)
+                      : std::string("#") + std::to_string(i));
+    row.push_back(cap_label(c.cap_w));
+    row.push_back(TextTable::num(c.avg_power_w, 1));
+    row.push_back(TextTable::pct(StudyResult::pct(c.avg_power_w, base.avg_power_w)));
+    row.push_back(ref ? TextTable::pct(ref->pct_power) : "-");
+    row.push_back(TextTable::num(c.energy_j, 1));
+    row.push_back(TextTable::pct(StudyResult::pct(c.energy_j, base.energy_j)));
+    row.push_back(ref ? TextTable::pct(ref->pct_energy) : "-");
+    row.push_back(TextTable::num(
+        static_cast<std::uint64_t>(c.avg_frequency / util::kMegaHertz)));
+    row.push_back(time_hms(c.time_s));
+    row.push_back(TextTable::pct(StudyResult::pct(c.time_s, base.time_s)));
+    row.push_back(ref ? TextTable::pct(ref->pct_time) : "-");
+    perf.add_row(std::move(row));
+  }
+  perf.render(os);
+
+  os << '\n';
+  TextTable miss({"Expt", "Cap (W)", "L1 Misses", "%D", "L2 Misses", "%D",
+                  "paper%D", "L3 Misses", "%D", "paper%D", "TLB-D Misses",
+                  "%D", "TLB-I Misses", "%D", "paper%D"});
+  auto miss_cells = [&](const CellStats& c, pmu::Event e) {
+    return static_cast<std::uint64_t>(c.counter(e));
+  };
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellStats& c = *cells[i];
+    const PaperRow* ref = reference_row(reference, c.cap_w);
+    auto pct_of = [&](pmu::Event e) {
+      return TextTable::pct(StudyResult::pct(c.counter(e), base.counter(e)));
+    };
+    std::vector<std::string> row;
+    row.push_back(ref ? std::string(ref->label)
+                      : std::string("#") + std::to_string(i));
+    row.push_back(cap_label(c.cap_w));
+    row.push_back(TextTable::grouped(miss_cells(c, pmu::Event::kL1Dcm)));
+    row.push_back(pct_of(pmu::Event::kL1Dcm));
+    row.push_back(TextTable::grouped(miss_cells(c, pmu::Event::kL2Tcm)));
+    row.push_back(pct_of(pmu::Event::kL2Tcm));
+    row.push_back(ref ? TextTable::pct(ref->pct_l2) : "-");
+    row.push_back(TextTable::grouped(miss_cells(c, pmu::Event::kL3Tcm)));
+    row.push_back(pct_of(pmu::Event::kL3Tcm));
+    row.push_back(ref ? TextTable::pct(ref->pct_l3) : "-");
+    row.push_back(TextTable::grouped(miss_cells(c, pmu::Event::kTlbDm)));
+    row.push_back(pct_of(pmu::Event::kTlbDm));
+    row.push_back(TextTable::grouped(miss_cells(c, pmu::Event::kTlbIm)));
+    row.push_back(pct_of(pmu::Event::kTlbIm));
+    row.push_back(ref ? TextTable::pct(ref->pct_tlb_i) : "-");
+    miss.add_row(std::move(row));
+  }
+  miss.render(os);
+}
+
+void write_table2_csv(const std::string& path, const StudyResult& study) {
+  util::CsvWriter csv(path);
+  csv.row({"workload", "cap_w", "power_w", "energy_j", "freq_mhz", "time_s",
+           "l1_misses", "l2_misses", "l3_misses", "tlb_d_misses",
+           "tlb_i_misses", "instructions", "cycles"});
+  for (const CellStats* c : ordered_cells(study)) {
+    csv.field(study.workload);
+    csv.field(c->cap_w ? *c->cap_w : 0.0);
+    csv.field(c->avg_power_w);
+    csv.field(c->energy_j);
+    csv.field(static_cast<double>(c->avg_frequency) / 1e6);
+    csv.field(c->time_s);
+    csv.field(c->counter(pmu::Event::kL1Dcm));
+    csv.field(c->counter(pmu::Event::kL2Tcm));
+    csv.field(c->counter(pmu::Event::kL3Tcm));
+    csv.field(c->counter(pmu::Event::kTlbDm));
+    csv.field(c->counter(pmu::Event::kTlbIm));
+    csv.field(c->counter(pmu::Event::kTotIns));
+    csv.field(c->counter(pmu::Event::kTotCyc));
+    csv.end_row();
+  }
+}
+
+namespace {
+
+struct FigureSeries {
+  std::string name;
+  std::vector<double> raw;
+};
+
+std::vector<FigureSeries> figure_series(const StudyResult& study,
+                                        bool include_cache_rates) {
+  const auto cells = ordered_cells(study);
+  std::vector<FigureSeries> series;
+  auto add = [&](std::string name, auto getter) {
+    FigureSeries s;
+    s.name = std::move(name);
+    for (const CellStats* c : cells) s.raw.push_back(getter(*c));
+    series.push_back(std::move(s));
+  };
+  if (include_cache_rates) {
+    add("L2 miss rate", [](const CellStats& c) {
+      const double a = c.counter(pmu::Event::kL2Tca);
+      return a > 0 ? c.counter(pmu::Event::kL2Tcm) / a : 0.0;
+    });
+    add("L3 miss rate", [](const CellStats& c) {
+      const double a = c.counter(pmu::Event::kL3Tca);
+      return a > 0 ? c.counter(pmu::Event::kL3Tcm) / a : 0.0;
+    });
+  }
+  add("TLB instr misses",
+      [](const CellStats& c) { return c.counter(pmu::Event::kTlbIm); });
+  add("Frequency",
+      [](const CellStats& c) { return static_cast<double>(c.avg_frequency); });
+  add("Time", [](const CellStats& c) { return c.time_s; });
+  add("Power", [](const CellStats& c) { return c.avg_power_w; });
+  add("Energy", [](const CellStats& c) { return c.energy_j; });
+  return series;
+}
+
+std::vector<std::string> figure_labels(const StudyResult& study) {
+  std::vector<std::string> labels{"baseline"};
+  for (const auto& c : study.capped) labels.push_back(cap_label(c.cap_w));
+  return labels;
+}
+
+}  // namespace
+
+void render_normalized_figure(std::ostream& os, const StudyResult& study,
+                              const std::string& title,
+                              bool include_cache_rates) {
+  util::AsciiChart chart(figure_labels(study));
+  chart.set_title(title);
+  chart.set_y_label("normalized to series maximum");
+  for (auto& s : figure_series(study, include_cache_rates)) {
+    const double peak = *std::max_element(s.raw.begin(), s.raw.end());
+    std::vector<double> normalized;
+    normalized.reserve(s.raw.size());
+    for (double v : s.raw) normalized.push_back(peak > 0 ? v / peak : 0.0);
+    chart.add_series({s.name, std::move(normalized)});
+  }
+  os << chart.render();
+}
+
+void write_figure_csv(const std::string& path, const StudyResult& study,
+                      bool include_cache_rates) {
+  util::CsvWriter csv(path);
+  const auto series = figure_series(study, include_cache_rates);
+  csv.field("cap");
+  for (const auto& s : series) csv.field(s.name);
+  csv.end_row();
+  const auto labels = figure_labels(study);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    csv.field(labels[i]);
+    for (const auto& s : series) {
+      const double peak = *std::max_element(s.raw.begin(), s.raw.end());
+      csv.field(peak > 0 ? s.raw[i] / peak : 0.0);
+    }
+    csv.end_row();
+  }
+}
+
+void render_stride_figure(std::ostream& os,
+                          const apps::stride::StrideResults& results,
+                          const std::string& title) {
+  const auto strides = results.strides();
+  const auto sizes = results.array_sizes();
+  std::vector<std::string> labels;
+  for (auto s : strides) labels.push_back(util::format_bytes(s));
+
+  util::AsciiChart chart(labels);
+  chart.set_title(title);
+  chart.set_log_y(true);
+  chart.set_y_label("access time (ns)");
+  for (auto size : sizes) {
+    std::vector<double> ys;
+    for (auto stride : strides) {
+      const double v = results.ns(size, stride);
+      ys.push_back(v >= 0 ? v : 0.0);
+    }
+    chart.add_series({util::format_bytes(size), std::move(ys)});
+  }
+  os << chart.render();
+
+  // Numeric surface, one row per array size.
+  TextTable t([&] {
+    std::vector<std::string> header{"array\\stride"};
+    for (const auto& l : labels) header.push_back(l);
+    return header;
+  }());
+  for (auto size : sizes) {
+    std::vector<std::string> row{util::format_bytes(size)};
+    for (auto stride : strides) {
+      const double v = results.ns(size, stride);
+      row.push_back(v >= 0 ? TextTable::num(v, 2) : "");
+    }
+    t.add_row(std::move(row));
+  }
+  t.render(os);
+}
+
+namespace {
+
+std::ofstream open_script(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  return std::ofstream(path, std::ios::trunc);
+}
+
+}  // namespace
+
+void write_figure_gnuplot(const std::string& script_path,
+                          const std::string& csv_path,
+                          const std::string& title,
+                          bool include_cache_rates) {
+  std::ofstream os = open_script(script_path);
+  if (!os) return;
+  const int series = include_cache_rates ? 7 : 5;
+  os << "# gnuplot script generated by pcap; render with: gnuplot "
+     << script_path << "\n"
+     << "set datafile separator ','\n"
+     << "set terminal pngcairo size 1000,600\n"
+     << "set output '" << csv_path << ".png'\n"
+     << "set title '" << title << "'\n"
+     << "set ylabel 'normalized to series maximum'\n"
+     << "set yrange [0:1.1]\n"
+     << "set key outside right\n"
+     << "set xtics rotate by -35\n"
+     << "plot for [i=2:" << series + 1 << "] '" << csv_path
+     << "' using i:xtic(1) with linespoints title columnheader(i)\n";
+}
+
+void write_stride_gnuplot(const std::string& script_path,
+                          const std::string& csv_path,
+                          const std::string& title,
+                          const apps::stride::StrideResults& results) {
+  std::ofstream os = open_script(script_path);
+  if (!os) return;
+  os << "# gnuplot script generated by pcap; render with: gnuplot "
+     << script_path << "\n"
+     << "set datafile separator ','\n"
+     << "set terminal pngcairo size 1200,700\n"
+     << "set output '" << csv_path << ".png'\n"
+     << "set title '" << title << "'\n"
+     << "set xlabel 'stride (bytes)'\n"
+     << "set ylabel 'access time (ns)'\n"
+     << "set logscale xy\n"
+     << "set key outside right\n"
+     << "sizes = '";
+  for (auto size : results.array_sizes()) os << size << ' ';
+  os << "'\n"
+     << "plot for [i=1:words(sizes)] '" << csv_path
+     << "' every ::1 using (column(1)==real(word(sizes,i)) ? column(2) : "
+        "1/0):3 with linespoints title word(sizes,i).'B'\n";
+}
+
+void write_stride_csv(const std::string& path,
+                      const apps::stride::StrideResults& results) {
+  util::CsvWriter csv(path);
+  csv.row({"array_bytes", "stride_bytes", "ns_per_access"});
+  for (const auto& c : results.cells) {
+    csv.field(c.array_bytes);
+    csv.field(c.stride_bytes);
+    csv.field(c.ns_per_access);
+    csv.end_row();
+  }
+}
+
+}  // namespace pcap::harness

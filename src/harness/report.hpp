@@ -1,0 +1,60 @@
+// Renderers that turn study results into the paper's tables and figures
+// (console tables, ASCII charts, CSV files under results/).
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "apps/stride/stride.hpp"
+#include "harness/experiment.hpp"
+#include "harness/paper_reference.hpp"
+
+namespace pcap::harness {
+
+/// Table I: baseline power and execution time per application.
+void render_table1(std::ostream& os, std::span<const StudyResult> studies);
+
+/// Table II (per application): power/energy/frequency/time block and the
+/// cache/TLB miss block, with % diff columns and the paper's values
+/// alongside.
+void render_table2(std::ostream& os, const StudyResult& study,
+                   std::span<const PaperRow> reference);
+
+void write_table2_csv(const std::string& path, const StudyResult& study);
+
+/// Figures 1 and 2: series normalised to each metric's maximum across the
+/// cap grid, exactly as the paper plots them. include_cache_rates adds the
+/// L2/L3 miss-rate series (Figure 2 only).
+void render_normalized_figure(std::ostream& os, const StudyResult& study,
+                              const std::string& title,
+                              bool include_cache_rates);
+
+void write_figure_csv(const std::string& path, const StudyResult& study,
+                      bool include_cache_rates);
+
+/// Figures 3 and 4: stride microbenchmark surface (one series per array
+/// size, log-scale access time vs stride) plus the inferred hierarchy
+/// parameters (cache size knees and per-level latencies).
+void render_stride_figure(std::ostream& os,
+                          const apps::stride::StrideResults& results,
+                          const std::string& title);
+
+void write_stride_csv(const std::string& path,
+                      const apps::stride::StrideResults& results);
+
+/// Emits a gnuplot script rendering a normalised-figure CSV (as written by
+/// write_figure_csv, which must live at `csv_path`) to PNG.
+void write_figure_gnuplot(const std::string& script_path,
+                          const std::string& csv_path,
+                          const std::string& title,
+                          bool include_cache_rates);
+
+/// Emits a gnuplot script rendering a stride CSV (write_stride_csv format):
+/// one log-log series per array size, as the paper's Figures 3/4.
+void write_stride_gnuplot(const std::string& script_path,
+                          const std::string& csv_path,
+                          const std::string& title,
+                          const apps::stride::StrideResults& results);
+
+}  // namespace pcap::harness

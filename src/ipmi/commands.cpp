@@ -1,0 +1,163 @@
+#include "ipmi/commands.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcap::ipmi {
+
+std::uint16_t watts_to_wire(double watts) {
+  const double clamped = std::clamp(watts, 0.0, 6553.5);
+  return static_cast<std::uint16_t>(std::lround(clamped * 10.0));
+}
+
+double watts_from_wire(std::uint16_t wire) {
+  return static_cast<double>(wire) / 10.0;
+}
+
+namespace {
+
+Request make_plain(Command c) {
+  Request r;
+  r.netfn = c == Command::kGetDeviceId ? NetFn::kApp : NetFn::kGroupExt;
+  r.command = static_cast<std::uint8_t>(c);
+  return r;
+}
+
+}  // namespace
+
+Request make_get_device_id() { return make_plain(Command::kGetDeviceId); }
+Request make_get_power_reading() { return make_plain(Command::kGetPowerReading); }
+Request make_get_power_limit() { return make_plain(Command::kGetPowerLimit); }
+Request make_get_capabilities() { return make_plain(Command::kGetCapabilities); }
+Request make_get_throttle_status() {
+  return make_plain(Command::kGetThrottleStatus);
+}
+
+Request make_set_power_limit(const PowerLimit& limit) {
+  Request r = make_plain(Command::kSetPowerLimit);
+  put_u8(r.payload, limit.enabled ? 1 : 0);
+  put_u16(r.payload, watts_to_wire(limit.limit_w));
+  return r;
+}
+
+Response make_ok_response() { return Response{CompletionCode::kOk, {}}; }
+
+Response make_error_response(CompletionCode code) { return Response{code, {}}; }
+
+Response encode_device_id(const DeviceId& v) {
+  Response r = make_ok_response();
+  put_u8(r.payload, v.device_id);
+  put_u8(r.payload, v.firmware_major);
+  put_u8(r.payload, v.firmware_minor);
+  return r;
+}
+
+std::optional<DeviceId> decode_device_id(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  DeviceId v;
+  if (!reader.read_u8(v.device_id) || !reader.read_u8(v.firmware_major) ||
+      !reader.read_u8(v.firmware_minor) || !reader.exhausted()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+Response encode_power_reading(const PowerReading& v) {
+  Response r = make_ok_response();
+  put_u16(r.payload, watts_to_wire(v.current_w));
+  put_u16(r.payload, watts_to_wire(v.average_w));
+  put_u16(r.payload, watts_to_wire(v.minimum_w));
+  put_u16(r.payload, watts_to_wire(v.maximum_w));
+  return r;
+}
+
+std::optional<PowerReading> decode_power_reading(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  std::uint16_t cur = 0, avg = 0, mn = 0, mx = 0;
+  if (!reader.read_u16(cur) || !reader.read_u16(avg) || !reader.read_u16(mn) ||
+      !reader.read_u16(mx) || !reader.exhausted()) {
+    return std::nullopt;
+  }
+  return PowerReading{watts_from_wire(cur), watts_from_wire(avg),
+                      watts_from_wire(mn), watts_from_wire(mx)};
+}
+
+std::optional<PowerLimit> decode_set_power_limit(const Request& r) {
+  PayloadReader reader(r.payload);
+  std::uint8_t enabled = 0;
+  std::uint16_t watts = 0;
+  if (!reader.read_u8(enabled) || !reader.read_u16(watts) ||
+      !reader.exhausted()) {
+    return std::nullopt;
+  }
+  return PowerLimit{enabled != 0, watts_from_wire(watts)};
+}
+
+Response encode_power_limit(const PowerLimit& v) {
+  Response r = make_ok_response();
+  put_u8(r.payload, v.enabled ? 1 : 0);
+  put_u16(r.payload, watts_to_wire(v.limit_w));
+  return r;
+}
+
+std::optional<PowerLimit> decode_power_limit(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  std::uint8_t enabled = 0;
+  std::uint16_t watts = 0;
+  if (!reader.read_u8(enabled) || !reader.read_u16(watts) ||
+      !reader.exhausted()) {
+    return std::nullopt;
+  }
+  return PowerLimit{enabled != 0, watts_from_wire(watts)};
+}
+
+Response encode_capabilities(const Capabilities& v) {
+  Response r = make_ok_response();
+  put_u16(r.payload, watts_to_wire(v.min_cap_w));
+  put_u16(r.payload, watts_to_wire(v.max_cap_w));
+  return r;
+}
+
+std::optional<Capabilities> decode_capabilities(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  std::uint16_t mn = 0, mx = 0;
+  if (!reader.read_u16(mn) || !reader.read_u16(mx) || !reader.exhausted()) {
+    return std::nullopt;
+  }
+  return Capabilities{watts_from_wire(mn), watts_from_wire(mx)};
+}
+
+Response encode_throttle_status(const ThrottleStatus& v) {
+  Response r = make_ok_response();
+  put_u8(r.payload, v.pstate);
+  put_u8(r.payload, v.duty_eighths);
+  put_u8(r.payload, v.l3_ways);
+  put_u8(r.payload, v.l2_ways);
+  put_u8(r.payload, v.itlb_entries);
+  put_u8(r.payload, v.dtlb_entries);
+  put_u8(r.payload, static_cast<std::uint8_t>((v.dram_gated ? 1 : 0) |
+                                              (v.capping_active ? 2 : 0)));
+  return r;
+}
+
+std::optional<ThrottleStatus> decode_throttle_status(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  ThrottleStatus v;
+  std::uint8_t flags = 0;
+  if (!reader.read_u8(v.pstate) || !reader.read_u8(v.duty_eighths) ||
+      !reader.read_u8(v.l3_ways) || !reader.read_u8(v.l2_ways) ||
+      !reader.read_u8(v.itlb_entries) || !reader.read_u8(v.dtlb_entries) ||
+      !reader.read_u8(flags) || !reader.exhausted()) {
+    return std::nullopt;
+  }
+  v.dram_gated = (flags & 1) != 0;
+  v.capping_active = (flags & 2) != 0;
+  return v;
+}
+
+}  // namespace pcap::ipmi

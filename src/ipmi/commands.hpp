@@ -1,0 +1,88 @@
+// Typed power-management commands carried over the IPMI message layer
+// (Node Manager-style), with pack/unpack to request/response payloads.
+// Watts travel as 0.1 W fixed point in a u16 (so caps up to 6553.5 W).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ipmi/message.hpp"
+
+namespace pcap::ipmi {
+
+enum class Command : std::uint8_t {
+  kGetDeviceId = 0x01,
+  kGetPowerReading = 0xC8,
+  kSetPowerLimit = 0xC9,
+  kGetPowerLimit = 0xCA,
+  kGetCapabilities = 0xCB,
+  kGetThrottleStatus = 0xCC,  // vendor extension: escalation diagnostics
+};
+
+struct DeviceId {
+  std::uint8_t device_id = 0x20;
+  std::uint8_t firmware_major = 1;
+  std::uint8_t firmware_minor = 0;
+};
+
+struct PowerReading {
+  double current_w = 0.0;
+  double average_w = 0.0;   // over the BMC's rolling window
+  double minimum_w = 0.0;   // since cap activation
+  double maximum_w = 0.0;
+};
+
+struct PowerLimit {
+  bool enabled = false;
+  double limit_w = 0.0;
+};
+
+struct Capabilities {
+  double min_cap_w = 0.0;   // lowest enforceable cap (throttling floor)
+  double max_cap_w = 0.0;
+};
+
+struct ThrottleStatus {
+  std::uint8_t pstate = 0;
+  std::uint8_t duty_eighths = 8;  // clock modulation in 1/8 steps
+  std::uint8_t l3_ways = 20;
+  std::uint8_t l2_ways = 8;
+  std::uint8_t itlb_entries = 48;
+  std::uint8_t dtlb_entries = 64;
+  bool dram_gated = false;
+  bool capping_active = false;
+};
+
+// --- fixed-point helpers ---
+std::uint16_t watts_to_wire(double watts);
+double watts_from_wire(std::uint16_t wire);
+
+// --- request builders (client side) ---
+Request make_get_device_id();
+Request make_get_power_reading();
+Request make_set_power_limit(const PowerLimit& limit);
+Request make_get_power_limit();
+Request make_get_capabilities();
+Request make_get_throttle_status();
+
+// --- payload codecs (both sides) ---
+Response make_ok_response();
+Response make_error_response(CompletionCode code);
+
+Response encode_device_id(const DeviceId& v);
+std::optional<DeviceId> decode_device_id(const Response& r);
+
+Response encode_power_reading(const PowerReading& v);
+std::optional<PowerReading> decode_power_reading(const Response& r);
+
+std::optional<PowerLimit> decode_set_power_limit(const Request& r);
+Response encode_power_limit(const PowerLimit& v);
+std::optional<PowerLimit> decode_power_limit(const Response& r);
+
+Response encode_capabilities(const Capabilities& v);
+std::optional<Capabilities> decode_capabilities(const Response& r);
+
+Response encode_throttle_status(const ThrottleStatus& v);
+std::optional<ThrottleStatus> decode_throttle_status(const Response& r);
+
+}  // namespace pcap::ipmi

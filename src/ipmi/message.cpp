@@ -1,0 +1,114 @@
+#include "ipmi/message.hpp"
+
+namespace pcap::ipmi {
+
+namespace {
+
+std::uint8_t checksum(std::span<const std::uint8_t> bytes) {
+  std::uint8_t sum = 0;
+  for (auto b : bytes) sum = static_cast<std::uint8_t>(sum + b);
+  return static_cast<std::uint8_t>(-sum);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(request.payload.size() + 5);
+  frame.push_back(static_cast<std::uint8_t>(request.netfn));
+  frame.push_back(request.command);
+  const auto len = static_cast<std::uint16_t>(request.payload.size());
+  frame.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(len >> 8));
+  frame.insert(frame.end(), request.payload.begin(), request.payload.end());
+  frame.push_back(checksum(frame));
+  return frame;
+}
+
+bool decode_request(std::span<const std::uint8_t> frame, Request& out) {
+  if (frame.size() < 5) return false;
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(frame[2]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(frame[3]) << 8);
+  if (frame.size() != static_cast<std::size_t>(len) + 5) return false;
+  if (checksum(frame.first(frame.size() - 1)) != frame.back()) return false;
+  out.netfn = static_cast<NetFn>(frame[0]);
+  out.command = frame[1];
+  out.payload.assign(frame.begin() + 4, frame.end() - 1);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(response.payload.size() + 4);
+  frame.push_back(static_cast<std::uint8_t>(response.code));
+  const auto len = static_cast<std::uint16_t>(response.payload.size());
+  frame.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(len >> 8));
+  frame.insert(frame.end(), response.payload.begin(), response.payload.end());
+  frame.push_back(checksum(frame));
+  return frame;
+}
+
+bool decode_response(std::span<const std::uint8_t> frame, Response& out) {
+  if (frame.size() < 4) return false;
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(frame[1]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(frame[2]) << 8);
+  if (frame.size() != static_cast<std::size_t>(len) + 4) return false;
+  if (checksum(frame.first(frame.size() - 1)) != frame.back()) return false;
+  out.code = static_cast<CompletionCode>(frame[0]);
+  out.payload.assign(frame.begin() + 3, frame.end() - 1);
+  return true;
+}
+
+std::string completion_code_name(CompletionCode code) {
+  switch (code) {
+    case CompletionCode::kOk: return "OK";
+    case CompletionCode::kInvalidCommand: return "Invalid Command";
+    case CompletionCode::kRequestDataInvalid: return "Request Data Invalid";
+    case CompletionCode::kOutOfRange: return "Parameter Out Of Range";
+    case CompletionCode::kUnspecified: return "Unspecified Error";
+  }
+  return "Unknown";
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+bool PayloadReader::read_u8(std::uint8_t& v) {
+  if (pos_ + 1 > payload_.size()) return false;
+  v = payload_[pos_++];
+  return true;
+}
+
+bool PayloadReader::read_u16(std::uint16_t& v) {
+  if (pos_ + 2 > payload_.size()) return false;
+  v = static_cast<std::uint16_t>(
+      payload_[pos_] |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(payload_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return true;
+}
+
+bool PayloadReader::read_u32(std::uint32_t& v) {
+  if (pos_ + 4 > payload_.size()) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | payload_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 4;
+  return true;
+}
+
+}  // namespace pcap::ipmi

@@ -1,0 +1,76 @@
+// Minimal IPMI-flavoured message layer: framed request/response pairs with
+// network function, command id, payload and a checksum. This is the wire
+// format the Data Center Manager uses to reach each node's BMC out-of-band,
+// mirroring the DCM -> IPMI -> BMC path described in the paper's §II-A.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pcap::ipmi {
+
+/// Network function codes (subset).
+enum class NetFn : std::uint8_t {
+  kApp = 0x06,
+  kGroupExt = 0x2C,  // power-management extension (Node Manager style)
+};
+
+/// Completion codes (subset of the IPMI table).
+enum class CompletionCode : std::uint8_t {
+  kOk = 0x00,
+  kInvalidCommand = 0xC1,
+  kRequestDataInvalid = 0xCC,
+  kOutOfRange = 0xC9,
+  kUnspecified = 0xFF,
+};
+
+struct Request {
+  NetFn netfn = NetFn::kGroupExt;
+  std::uint8_t command = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct Response {
+  CompletionCode code = CompletionCode::kUnspecified;
+  std::vector<std::uint8_t> payload;
+
+  bool ok() const { return code == CompletionCode::kOk; }
+};
+
+/// Frame layout: [netfn, cmd, len_lo, len_hi, payload..., checksum] where
+/// checksum is the two's complement of the byte sum (IPMI style).
+std::vector<std::uint8_t> encode_request(const Request& request);
+
+/// Decodes a frame; returns false (and leaves `out` untouched) on a short
+/// frame, a length mismatch or a bad checksum.
+bool decode_request(std::span<const std::uint8_t> frame, Request& out);
+
+/// Frame layout: [code, len_lo, len_hi, payload..., checksum].
+std::vector<std::uint8_t> encode_response(const Response& response);
+bool decode_response(std::span<const std::uint8_t> frame, Response& out);
+
+std::string completion_code_name(CompletionCode code);
+
+// --- little-endian payload packing helpers ---
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+
+/// Cursor-based reads; return false when the payload is exhausted.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> payload)
+      : payload_(payload) {}
+  bool read_u8(std::uint8_t& v);
+  bool read_u16(std::uint16_t& v);
+  bool read_u32(std::uint32_t& v);
+  bool exhausted() const { return pos_ == payload_.size(); }
+
+ private:
+  std::span<const std::uint8_t> payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pcap::ipmi

@@ -1,0 +1,29 @@
+#include "ipmi/transport.hpp"
+
+#include "ipmi/commands.hpp"
+
+namespace pcap::ipmi {
+
+std::vector<std::uint8_t> FaultyTransport::transact(
+    std::span<const std::uint8_t> frame) {
+  if (rng_.chance(drop_rate_)) return {};
+  std::vector<std::uint8_t> response = inner_->transact(frame);
+  if (!response.empty() && rng_.chance(corrupt_rate_)) {
+    const std::size_t i = rng_.below(response.size());
+    response[i] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+  }
+  return response;
+}
+
+Response Session::transact(const Request& request) {
+  const std::vector<std::uint8_t> frame = encode_request(request);
+  const std::vector<std::uint8_t> reply = transport_->transact(frame);
+  Response response;
+  if (reply.empty() || !decode_response(reply, response)) {
+    ++transport_errors_;
+    return make_error_response(CompletionCode::kUnspecified);
+  }
+  return response;
+}
+
+}  // namespace pcap::ipmi

@@ -1,0 +1,76 @@
+// Transports carry encoded IPMI frames between the management server and a
+// BMC. The loopback transport binds a client to an in-process BMC (the BMC's
+// dedicated NIC of the real platform); a fault-injecting decorator exercises
+// the error paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ipmi/message.hpp"
+#include "util/rng.hpp"
+
+namespace pcap::ipmi {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Sends an encoded request frame, returns the encoded response frame.
+  /// An empty vector means the transaction was lost.
+  virtual std::vector<std::uint8_t> transact(
+      std::span<const std::uint8_t> frame) = 0;
+};
+
+/// Binds directly to a server-side frame handler.
+class LoopbackTransport final : public Transport {
+ public:
+  using Handler =
+      std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>;
+  explicit LoopbackTransport(Handler handler) : handler_(std::move(handler)) {}
+
+  std::vector<std::uint8_t> transact(
+      std::span<const std::uint8_t> frame) override {
+    return handler_(frame);
+  }
+
+ private:
+  Handler handler_;
+};
+
+/// Decorator that drops or corrupts a configurable fraction of transactions.
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(Transport& inner, double drop_rate, double corrupt_rate,
+                  std::uint64_t seed = 7)
+      : inner_(&inner), drop_rate_(drop_rate), corrupt_rate_(corrupt_rate),
+        rng_(seed) {}
+
+  std::vector<std::uint8_t> transact(
+      std::span<const std::uint8_t> frame) override;
+
+ private:
+  Transport* inner_;
+  double drop_rate_;
+  double corrupt_rate_;
+  util::Rng rng_;
+};
+
+/// Client-side session: encodes requests, decodes responses, counts errors.
+class Session {
+ public:
+  explicit Session(Transport& transport) : transport_(&transport) {}
+
+  /// Returns the decoded response; a transport loss or undecodable frame
+  /// surfaces as CompletionCode::kUnspecified.
+  Response transact(const Request& request);
+
+  std::uint64_t transport_errors() const { return transport_errors_; }
+
+ private:
+  Transport* transport_;
+  std::uint64_t transport_errors_ = 0;
+};
+
+}  // namespace pcap::ipmi

@@ -1,0 +1,38 @@
+#include "mem/dram.hpp"
+
+#include <stdexcept>
+
+namespace pcap::mem {
+
+Dram::Dram(const DramConfig& config) : config_(config) {
+  if (config.banks == 0) throw std::invalid_argument("Dram: need >= 1 bank");
+  if (config.row_bytes == 0) throw std::invalid_argument("Dram: row_bytes == 0");
+  open_row_.assign(config.banks, -1);
+}
+
+util::Picoseconds Dram::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  // Interleave consecutive rows across banks: bank = (addr / row) % banks.
+  const std::uint64_t row_global = addr / config_.row_bytes;
+  const std::uint32_t bank =
+      static_cast<std::uint32_t>(row_global % config_.banks);
+  const auto row = static_cast<std::int64_t>(row_global / config_.banks);
+
+  double ns;
+  if (open_row_[bank] == row) {
+    ++stats_.row_hits;
+    ns = config_.row_hit_ns;
+  } else {
+    ++stats_.row_misses;
+    open_row_[bank] = row;
+    ns = config_.row_miss_ns;
+  }
+  if (gated_) ns += config_.gated_extra_ns;
+  return util::nanoseconds(ns);
+}
+
+void Dram::close_rows() {
+  for (auto& r : open_row_) r = -1;
+}
+
+}  // namespace pcap::mem

@@ -1,0 +1,63 @@
+// DRAM timing model: per-bank open-row buffers, row hit/miss latencies and a
+// low-power "gated" mode (partial self-refresh) that trades sharply higher
+// access latency for lower background power — one of the non-DVFS throttling
+// mechanisms the paper infers at low power caps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pcap::mem {
+
+struct DramConfig {
+  std::uint32_t banks = 16;              // power of two preferred
+  std::uint32_t row_bytes = 8192;        // bytes per row per bank
+  double row_hit_ns = 48.0;              // CAS-limited access
+  double row_miss_ns = 66.0;             // precharge + activate + CAS
+  double gated_extra_ns = 60.0;          // exit-from-powerdown penalty
+  std::uint64_t capacity_bytes = 64ull << 30;  // 64 GB, as the platform
+};
+
+struct DramStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+
+  double row_hit_rate() const {
+    return accesses ? static_cast<double>(row_hits) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+class Dram {
+ public:
+  /// Throws std::invalid_argument for zero banks/rows.
+  explicit Dram(const DramConfig& config);
+
+  const DramConfig& config() const { return config_; }
+
+  /// Performs one line-fill access; returns the access latency.
+  util::Picoseconds access(std::uint64_t addr);
+
+  /// Low-power mode: background power drops (modelled by the power module
+  /// via gated()) and every access pays the self-refresh exit penalty.
+  void set_gated(bool gated) { gated_ = gated; }
+  bool gated() const { return gated_; }
+
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+  /// Closes all row buffers (e.g. after refresh).
+  void close_rows();
+
+ private:
+  DramConfig config_;
+  bool gated_ = false;
+  std::vector<std::int64_t> open_row_;  // -1 == closed
+  DramStats stats_;
+};
+
+}  // namespace pcap::mem

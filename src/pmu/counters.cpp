@@ -1,0 +1,69 @@
+#include "pmu/counters.hpp"
+
+#include <algorithm>
+
+namespace pcap::pmu {
+
+void EventSet::add(Event e) {
+  if (running_) throw std::logic_error("EventSet::add while running");
+  if (!contains(e)) events_.push_back(e);
+}
+
+bool EventSet::contains(Event e) const {
+  return std::find(events_.begin(), events_.end(), e) != events_.end();
+}
+
+void EventSet::start() {
+  if (running_) throw std::logic_error("EventSet::start while running");
+  start_snapshot_ = bank_->snapshot();
+  running_ = true;
+}
+
+void EventSet::stop() {
+  if (!running_) throw std::logic_error("EventSet::stop while not running");
+  stop_snapshot_ = bank_->snapshot();
+  running_ = false;
+  measured_ = true;
+}
+
+std::uint64_t EventSet::read(Event e) const {
+  if (!contains(e)) throw std::out_of_range("EventSet::read: event not in set");
+  const auto i = index_of(e);
+  if (running_) return bank_->snapshot()[i] - start_snapshot_[i];
+  if (!measured_) return 0;
+  return stop_snapshot_[i] - start_snapshot_[i];
+}
+
+std::vector<std::uint64_t> EventSet::read_all() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(events_.size());
+  for (Event e : events_) out.push_back(read(e));
+  return out;
+}
+
+DerivedMetrics derive(const CounterBank& bank) {
+  DerivedMetrics m;
+  const auto cyc = bank.get(Event::kTotCyc);
+  const auto ins = bank.get(Event::kTotIns);
+  const auto l1a = bank.get(Event::kL1Dca);
+  const auto l1m = bank.get(Event::kL1Dcm);
+  const auto l2a = bank.get(Event::kL2Tca);
+  const auto l2m = bank.get(Event::kL2Tcm);
+  const auto l3a = bank.get(Event::kL3Tca);
+  const auto l3m = bank.get(Event::kL3Tcm);
+  auto rate = [](std::uint64_t misses, std::uint64_t accesses) {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                    : 0.0;
+  };
+  m.ipc = cyc ? static_cast<double>(ins) / static_cast<double>(cyc) : 0.0;
+  m.l1d_miss_rate = rate(l1m, l1a);
+  m.l2_miss_rate = rate(l2m, l2a);
+  m.l3_miss_rate = rate(l3m, l3a);
+  if (ins) {
+    m.mpki_l2 = static_cast<double>(l2m) * 1000.0 / static_cast<double>(ins);
+    m.mpki_l3 = static_cast<double>(l3m) * 1000.0 / static_cast<double>(ins);
+  }
+  return m;
+}
+
+}  // namespace pcap::pmu

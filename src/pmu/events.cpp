@@ -1,0 +1,29 @@
+#include "pmu/events.hpp"
+
+namespace pcap::pmu {
+
+namespace {
+
+constexpr std::array<std::string_view, kEventCount> kNames = {
+    "PCAP_TOT_CYC",  "PCAP_TOT_INS", "PCAP_INS_EXEC", "PCAP_LD_INS",
+    "PCAP_SR_INS",   "PCAP_BR_INS",  "PCAP_BR_MSP",   "PCAP_L1_DCA",
+    "PCAP_L1_DCM",   "PCAP_L1_ICA",  "PCAP_L1_ICM",   "PCAP_L2_TCA",
+    "PCAP_L2_TCM",   "PCAP_L3_TCA",  "PCAP_L3_TCM",   "PCAP_TLB_DM",
+    "PCAP_TLB_IM",   "PCAP_DRAM_ACC", "PCAP_L2_PF",    "PCAP_STALL_CYC",
+};
+
+}  // namespace
+
+std::string_view event_name(Event e) {
+  const auto i = index_of(e);
+  return i < kNames.size() ? kNames[i] : std::string_view("PCAP_UNKNOWN");
+}
+
+Event event_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<Event>(i);
+  }
+  return Event::kCount;
+}
+
+}  // namespace pcap::pmu

@@ -1,0 +1,64 @@
+#include "power/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcap::power {
+
+double NodePowerModel::core_leakage_watts(double voltage,
+                                          double temperature_c) const {
+  const double v_scale = voltage / config_.v_nom;
+  const double t_scale =
+      std::exp(config_.leak_temp_beta * (temperature_c - config_.leak_ref_temp_c));
+  return config_.core_leak_nom_w * v_scale * t_scale;
+}
+
+double NodePowerModel::active_core_watts(util::Hertz f, double voltage,
+                                         double duty, double activity,
+                                         double temperature_c) const {
+  duty = std::clamp(duty, 0.0, 1.0);
+  activity = std::clamp(activity, 0.0, 1.0);
+  const double f_scale =
+      static_cast<double>(f) / static_cast<double>(config_.f_max);
+  const double v_scale = voltage / config_.v_nom;
+  const double dynamic =
+      config_.core_dyn_max_w * f_scale * v_scale * v_scale * activity;
+  const double leakage = core_leakage_watts(voltage, temperature_c);
+  // During the duty-off fraction the core sits in C1 (clock gated): dynamic
+  // power stops, but base clocks and leakage remain.
+  const double on = duty * (dynamic + leakage + config_.core_active_base_w);
+  const double off = (1.0 - duty) * (config_.core_c1_base_w + leakage);
+  return on + off;
+}
+
+PowerBreakdown NodePowerModel::compute(const PowerInputs& in) const {
+  PowerBreakdown b;
+  b.platform = config_.platform_base_w;
+  b.dram_background =
+      in.dram_gated ? config_.dram_gated_background_w : config_.dram_background_w;
+  b.dram_dynamic = in.dram_accesses_per_s * config_.dram_access_nj * 1e-9;
+  b.uncore_base = config_.uncore_base_per_socket_w * config_.sockets;
+  b.package_uplift = in.workload_running ? config_.package_active_uplift_w : 0.0;
+
+  // Idle socket keeps all ways powered; the active socket's gating applies.
+  const int idle_socket_ways = (config_.sockets - 1) * config_.l3_ways;
+  const int active_ways = std::clamp(in.l3_active_ways, 1, config_.l3_ways);
+  b.l3_leakage =
+      config_.l3_leak_per_way_w * static_cast<double>(idle_socket_ways + active_ways);
+
+  b.uncore_dynamic = in.l3_accesses_per_s * config_.l3_access_nj * 1e-9;
+
+  const int active = std::clamp(in.active_cores, 0, config_.cores);
+  const int parked = config_.cores - active;
+  b.cores = static_cast<double>(parked) * config_.core_c6_w;
+  for (int c = 0; c < active; ++c) {
+    b.cores += active_core_watts(in.frequency, in.voltage, in.duty, in.activity,
+                                 in.temperature_c);
+  }
+
+  b.total = b.platform + b.dram_background + b.dram_dynamic + b.uncore_base +
+            b.package_uplift + b.l3_leakage + b.uncore_dynamic + b.cores;
+  return b;
+}
+
+}  // namespace pcap::power

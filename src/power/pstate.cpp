@@ -1,0 +1,69 @@
+#include "power/pstate.hpp"
+
+#include <stdexcept>
+
+namespace pcap::power {
+
+PStateTable::PStateTable(std::vector<util::Hertz> frequencies, double v_max,
+                         double v_min) {
+  if (frequencies.empty()) {
+    throw std::invalid_argument("PStateTable: no frequencies");
+  }
+  for (std::size_t i = 1; i < frequencies.size(); ++i) {
+    if (frequencies[i] >= frequencies[i - 1]) {
+      throw std::invalid_argument(
+          "PStateTable: frequencies must be strictly descending");
+    }
+  }
+  const double f_hi = static_cast<double>(frequencies.front());
+  const double f_lo = static_cast<double>(frequencies.back());
+  states_.reserve(frequencies.size());
+  for (std::size_t i = 0; i < frequencies.size(); ++i) {
+    PState s;
+    s.index = static_cast<std::uint32_t>(i);
+    s.frequency = frequencies[i];
+    const double f = static_cast<double>(frequencies[i]);
+    const double t = f_hi > f_lo ? (f - f_lo) / (f_hi - f_lo) : 1.0;
+    s.voltage = v_min + t * (v_max - v_min);
+    states_.push_back(s);
+  }
+}
+
+PStateTable::PStateTable(std::vector<PState> states)
+    : states_(std::move(states)) {
+  if (states_.empty()) throw std::invalid_argument("PStateTable: no states");
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (i > 0 && states_[i].frequency >= states_[i - 1].frequency) {
+      throw std::invalid_argument(
+          "PStateTable: frequencies must be strictly descending");
+    }
+    states_[i].index = static_cast<std::uint32_t>(i);
+  }
+}
+
+PStateTable PStateTable::romley_e5_2680() {
+  std::vector<PState> states;
+  auto add = [&states](util::Hertz mhz, double v) {
+    PState s;
+    s.frequency = mhz * util::kMegaHertz;
+    s.voltage = v;
+    states.push_back(s);
+  };
+  add(2701, 1.10);  // P0: turbo bin at elevated voltage
+  for (util::Hertz mhz = 2600; mhz >= 1200; mhz -= 100) {
+    const double t = static_cast<double>(mhz - 1200) / (2600.0 - 1200.0);
+    add(mhz, 0.875 + t * (1.015 - 0.875));  // P1..P15
+  }
+  return PStateTable(std::move(states));
+}
+
+const PState& PStateTable::state_for_min_frequency(util::Hertz f) const {
+  const PState* best = &states_.front();
+  for (const auto& s : states_) {
+    if (s.frequency >= f) best = &s;
+    else break;
+  }
+  return *best;
+}
+
+}  // namespace pcap::power

@@ -1,0 +1,14 @@
+#include "power/thermal.hpp"
+
+#include <cmath>
+
+namespace pcap::power {
+
+void ThermalModel::update(double watts, util::Picoseconds dt) {
+  const double steady = config_.ambient_c + config_.r_thermal_c_per_w * watts;
+  const double alpha =
+      1.0 - std::exp(-static_cast<double>(dt) / static_cast<double>(config_.tau));
+  temp_c_ += (steady - temp_c_) * alpha;
+}
+
+}  // namespace pcap::power

@@ -1,0 +1,38 @@
+// Lumped-parameter (single RC) package thermal model. Temperature feeds the
+// leakage term of the power model: leakage rises with heat, which is why
+// capped execution saves less energy than the dynamic-power equation alone
+// suggests (paper §II-B).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace pcap::power {
+
+struct ThermalConfig {
+  double ambient_c = 35.0;       // chassis inlet temperature
+  double r_thermal_c_per_w = 0.35;  // junction-to-ambient resistance
+  /// Thermal time constant, in *simulated* time. The simulator compresses
+  /// wall-clock time, so this is scaled down with the control periods.
+  util::Picoseconds tau = util::milliseconds(2.0);
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(const ThermalConfig& config)
+      : config_(config), temp_c_(config.ambient_c) {}
+
+  const ThermalConfig& config() const { return config_; }
+  double temperature_c() const { return temp_c_; }
+
+  /// Advances the model by dt with `watts` dissipated in the package.
+  /// First-order exponential approach to the steady state T = Ta + R*P.
+  void update(double watts, util::Picoseconds dt);
+
+  void reset() { temp_c_ = config_.ambient_c; }
+
+ private:
+  ThermalConfig config_;
+  double temp_c_;
+};
+
+}  // namespace pcap::power

@@ -1,0 +1,95 @@
+#include "sim/core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pcap::sim {
+
+using pmu::Event;
+
+CoreModel::CoreModel(const CoreTimingConfig& config,
+                     const power::PStateTable& pstates,
+                     pmu::CounterBank& bank)
+    : config_(config), pstates_(&pstates), bank_(&bank) {}
+
+void CoreModel::set_pstate(std::uint32_t index) {
+  if (index >= pstates_->size()) {
+    throw std::out_of_range("CoreModel::set_pstate: bad index");
+  }
+  pstate_ = index;
+}
+
+const power::PState& CoreModel::pstate_info() const {
+  return pstates_->state(pstate_);
+}
+
+void CoreModel::set_duty(double duty) {
+  duty_ = std::clamp(duty, kMinDuty, 1.0);
+}
+
+void CoreModel::charge(std::uint64_t cycles, util::Picoseconds fixed_ps) {
+  const util::Picoseconds period = util::cycle_period(frequency());
+  const double raw_ps =
+      static_cast<double>(cycles) * static_cast<double>(period) +
+      static_cast<double>(fixed_ps);
+  // Clock modulation: retire progresses only during the duty-on fraction.
+  const double scaled = raw_ps / duty_ + time_carry_ps_;
+  const auto whole = static_cast<util::Picoseconds>(scaled);
+  time_carry_ps_ = scaled - static_cast<double>(whole);
+  now_ += whole;
+  // TOT_CYC counts the cycles the work occupied (stall cycles included, as
+  // "cycle count * clock speed = execution time" in the paper's method).
+  bank_->add(Event::kTotCyc, cycles + fixed_ps / period);
+  if (fixed_ps != 0) bank_->add(Event::kStallCyc, fixed_ps / period);
+}
+
+void CoreModel::speculate(std::uint64_t uops) {
+  branch_carry_ += static_cast<double>(uops) * config_.branch_fraction;
+  const auto branches = static_cast<std::uint64_t>(branch_carry_);
+  branch_carry_ -= static_cast<double>(branches);
+  if (branches == 0) return;
+  bank_->add(Event::kBrIns, branches);
+
+  mispredict_carry_ +=
+      static_cast<double>(branches) * config_.mispredict_rate;
+  const auto mispredicts = static_cast<std::uint64_t>(mispredict_carry_);
+  mispredict_carry_ -= static_cast<double>(mispredicts);
+  if (mispredicts == 0) return;
+  bank_->add(Event::kBrMsp, mispredicts);
+  bank_->add(Event::kInsExec, mispredicts * config_.mispredict_replay_uops);
+  charge(mispredicts * config_.mispredict_penalty_cycles, 0);
+}
+
+void CoreModel::compute(std::uint64_t uops) {
+  bank_->add(Event::kTotIns, uops);
+  bank_->add(Event::kInsExec, uops);
+  const double cycles_f =
+      static_cast<double>(uops) / config_.base_ipc + cycle_carry_;
+  const auto cycles = static_cast<std::uint64_t>(cycles_f);
+  cycle_carry_ = cycles_f - static_cast<double>(cycles);
+  charge(cycles, 0);
+  speculate(uops);
+}
+
+void CoreModel::memory_op(const AccessLatency& lat, bool is_store) {
+  bank_->add(Event::kTotIns);
+  bank_->add(Event::kInsExec);
+  bank_->add(is_store ? Event::kSrIns : Event::kLdIns);
+  charge(lat.cycles, lat.fixed_ps);
+  speculate(1);
+}
+
+void CoreModel::fetch_op(const AccessLatency& lat, std::uint32_t l1_hit_cycles) {
+  // An L1I hit overlaps with decode; only the excess stalls the front end.
+  const std::uint64_t stall =
+      lat.cycles > l1_hit_cycles ? lat.cycles - l1_hit_cycles : 0;
+  if (stall != 0 || lat.fixed_ps != 0) charge(stall, lat.fixed_ps);
+}
+
+void CoreModel::external_drain() {
+  bank_->add(Event::kInsExec, config_.noise_replay_uops);
+  charge(config_.noise_replay_uops, 0);
+}
+
+}  // namespace pcap::sim

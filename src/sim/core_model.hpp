@@ -1,0 +1,76 @@
+// In-order core timing model: converts micro-ops and memory latencies into
+// simulated time under the current P-state (frequency/voltage) and T-state
+// (clock-modulation duty cycle), and accounts PMU events including a
+// mis-speculation replay model.
+#pragma once
+
+#include <cstdint>
+
+#include "pmu/counters.hpp"
+#include "power/pstate.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/machine_config.hpp"
+#include "util/units.hpp"
+
+namespace pcap::sim {
+
+class CoreModel {
+ public:
+  CoreModel(const CoreTimingConfig& config, const power::PStateTable& pstates,
+            pmu::CounterBank& bank);
+
+  // --- actuators ---
+  /// Throws std::out_of_range for an invalid index.
+  void set_pstate(std::uint32_t index);
+  std::uint32_t pstate() const { return pstate_; }
+  const power::PState& pstate_info() const;
+  util::Hertz frequency() const { return pstate_info().frequency; }
+  double voltage() const { return pstate_info().voltage; }
+
+  /// Clock-modulation duty in (0, 1]; clamped to [min_duty, 1].
+  void set_duty(double duty);
+  double duty() const { return duty_; }
+  static constexpr double kMinDuty = 0.125;
+
+  // --- execution ---
+  /// Retires `uops` arithmetic micro-ops (committed instructions).
+  void compute(std::uint64_t uops);
+
+  /// Accounts one committed load/store whose hierarchy cost is `lat`.
+  void memory_op(const AccessLatency& lat, bool is_store);
+
+  /// Accounts one instruction fetch (not a committed instruction); only the
+  /// portion of the latency beyond an L1I hit stalls the front end.
+  void fetch_op(const AccessLatency& lat, std::uint32_t l1_hit_cycles);
+
+  /// Pipeline drain caused by an external event (OS tick): costs cycles and
+  /// re-executed speculative work.
+  void external_drain();
+
+  /// Advances time without retiring work (halted / idle core).
+  void idle_advance(util::Picoseconds dt) { now_ += dt; }
+
+  util::Picoseconds now() const { return now_; }
+  const CoreTimingConfig& config() const { return config_; }
+
+ private:
+  /// Charges `cycles` at the current clock plus a fixed wall-clock part,
+  /// both inflated by the duty cycle (the clock-off windows stall retire).
+  void charge(std::uint64_t cycles, util::Picoseconds fixed_ps);
+
+  /// Branch/mispredict accounting for `uops` of committed work.
+  void speculate(std::uint64_t uops);
+
+  CoreTimingConfig config_;
+  const power::PStateTable* pstates_;
+  pmu::CounterBank* bank_;
+  std::uint32_t pstate_ = 0;
+  double duty_ = 1.0;
+  util::Picoseconds now_ = 0;
+  double cycle_carry_ = 0.0;   // fractional compute cycles
+  double branch_carry_ = 0.0;  // fractional branches
+  double mispredict_carry_ = 0.0;
+  double time_carry_ps_ = 0.0;  // fractional picoseconds from duty scaling
+};
+
+}  // namespace pcap::sim

@@ -1,0 +1,83 @@
+#include "sim/execution_context.hpp"
+
+#include "sim/node.hpp"
+
+namespace pcap::sim {
+
+namespace {
+constexpr Address kDataBase = 0x1'0000'0000ull;  // simulated heap
+constexpr Address kCodeBase = 0x0040'0000ull;    // simulated text segment
+constexpr Address kCodeRegionStride = 0x0100'0000ull;  // 16 MB per region
+constexpr Address kSpaceStride = 0x100'0000'0000ull;   // 1 TB per core
+}  // namespace
+
+ExecutionContext::ExecutionContext(MemoryHierarchy& hierarchy, CoreModel& core,
+                                   TickSink& sink, const MachineConfig& config,
+                                   std::uint32_t address_space)
+    : hierarchy_(&hierarchy),
+      core_(&core),
+      sink_(&sink),
+      space_offset_(static_cast<Address>(address_space) * kSpaceStride),
+      data_break_(kDataBase + space_offset_),
+      code_base_(kCodeBase + space_offset_),
+      fetch_ptr_(code_base_),
+      ins_per_fetch_(config.core.ins_per_fetch),
+      line_bytes_(config.hierarchy.l1i.line_bytes),
+      l1_hit_cycles_(config.hierarchy.l1_hit_cycles) {}
+
+ExecutionContext::ExecutionContext(Node& node)
+    : ExecutionContext(node.hierarchy(), node.core(), node, node.config()) {}
+
+Address ExecutionContext::alloc(std::uint64_t bytes, std::string_view label) {
+  (void)label;
+  const Address base = data_break_;
+  const std::uint64_t aligned = (bytes + 63) & ~63ull;
+  data_break_ += aligned;
+  return base;
+}
+
+void ExecutionContext::set_code_footprint(std::uint32_t region,
+                                          std::uint32_t pages) {
+  if (pages == 0) pages = 1;
+  code_pages_ = pages;
+  code_base_ = kCodeBase + space_offset_ +
+               static_cast<Address>(region) * kCodeRegionStride;
+  fetch_ptr_ = code_base_;
+}
+
+void ExecutionContext::retire_fetches(std::uint64_t committed) {
+  fetch_accum_ += committed;
+  const std::uint64_t fetches = fetch_accum_ / ins_per_fetch_;
+  if (fetches == 0) return;
+  fetch_accum_ %= ins_per_fetch_;
+  const Address span = static_cast<Address>(code_pages_) * 4096ull;
+  for (std::uint64_t i = 0; i < fetches; ++i) {
+    const AccessLatency lat =
+        hierarchy_->access(fetch_ptr_, AccessType::kFetch);
+    core_->fetch_op(lat, l1_hit_cycles_);
+    fetch_ptr_ += line_bytes_;
+    if (fetch_ptr_ >= code_base_ + span) fetch_ptr_ = code_base_;
+  }
+}
+
+void ExecutionContext::load(Address addr) {
+  const AccessLatency lat = hierarchy_->access(addr, AccessType::kLoad);
+  core_->memory_op(lat, /*is_store=*/false);
+  retire_fetches(1);
+  sink_->on_op();
+}
+
+void ExecutionContext::store(Address addr) {
+  const AccessLatency lat = hierarchy_->access(addr, AccessType::kStore);
+  core_->memory_op(lat, /*is_store=*/true);
+  retire_fetches(1);
+  sink_->on_op();
+}
+
+void ExecutionContext::compute(std::uint64_t uops) {
+  core_->compute(uops);
+  retire_fetches(uops);
+  sink_->on_op();
+}
+
+}  // namespace pcap::sim

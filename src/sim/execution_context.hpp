@@ -1,0 +1,85 @@
+// The API workloads program against. Applications run their real algorithm
+// on host memory and narrate the induced instruction stream — loads, stores,
+// arithmetic, and implicitly instruction fetches — to the simulated machine,
+// which prices each operation and advances simulated time.
+//
+// A context binds one core's pipeline (CoreModel) and cache hierarchy to a
+// TickSink that runs node-level housekeeping (power/metering/management)
+// whenever simulated time crosses a boundary — the single-core Node
+// implements it directly; the SMP node's per-core lanes implement it with a
+// quantum check so cores interleave deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/core_model.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/machine_config.hpp"
+
+namespace pcap::sim {
+
+class Node;
+
+/// Receives control after every priced operation.
+class TickSink {
+ public:
+  virtual ~TickSink() = default;
+  virtual void on_op() = 0;
+};
+
+class ExecutionContext {
+ public:
+  /// Binds to an explicit core lane (SMP composition). `address_space`
+  /// disjoins this context's simulated data/code addresses from other
+  /// cores' (separate processes do not share physical pages).
+  ExecutionContext(MemoryHierarchy& hierarchy, CoreModel& core,
+                   TickSink& sink, const MachineConfig& config,
+                   std::uint32_t address_space = 0);
+
+  /// Convenience: binds to a single-core Node.
+  explicit ExecutionContext(Node& node);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Reserves `bytes` of simulated address space (64-byte aligned bump
+  /// allocator). Returns the simulated base address. The workload keeps its
+  /// real data in host memory; these addresses exist to exercise the
+  /// hierarchy with the same layout/stride structure.
+  Address alloc(std::uint64_t bytes, std::string_view label = {});
+
+  /// One committed load/store touching the line containing `addr`.
+  void load(Address addr);
+  void store(Address addr);
+
+  /// `uops` committed arithmetic micro-ops.
+  void compute(std::uint64_t uops);
+
+  /// Declares the instruction footprint of the current kernel: fetches
+  /// rotate over `pages` 4 KB code pages. Distinct `region` values model
+  /// distinct functions (disjoint code addresses).
+  void set_code_footprint(std::uint32_t region, std::uint32_t pages);
+
+  util::Picoseconds now() const { return core_->now(); }
+  CoreModel& core() { return *core_; }
+  MemoryHierarchy& hierarchy() { return *hierarchy_; }
+
+ private:
+  void retire_fetches(std::uint64_t committed);
+
+  MemoryHierarchy* hierarchy_;
+  CoreModel* core_;
+  TickSink* sink_;
+  Address space_offset_;
+  Address data_break_;
+  std::uint32_t code_pages_ = 8;
+  Address code_base_;
+  Address fetch_ptr_;
+  std::uint64_t fetch_accum_ = 0;
+  std::uint32_t ins_per_fetch_;
+  std::uint32_t line_bytes_;
+  std::uint32_t l1_hit_cycles_;
+};
+
+}  // namespace pcap::sim

@@ -1,0 +1,91 @@
+// Composed memory hierarchy: ITLB/DTLB -> L1I/L1D -> unified L2 -> inclusive
+// shared L3 -> DRAM, with PMU accounting and the gating hooks the BMC's
+// escalation ladder drives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/tlb.hpp"
+#include "mem/dram.hpp"
+#include "pmu/counters.hpp"
+#include "sim/machine_config.hpp"
+#include "util/units.hpp"
+
+namespace pcap::sim {
+
+using Address = cache::Address;
+
+enum class AccessType { kLoad, kStore, kFetch };
+
+/// Cost of one access: core cycles (scale with the core clock) plus a
+/// wall-clock component (DRAM, which does not scale with DVFS).
+struct AccessLatency {
+  std::uint64_t cycles = 0;
+  util::Picoseconds fixed_ps = 0;
+};
+
+class MemoryHierarchy {
+ public:
+  /// Full node hierarchy: owns every level including L3 and DRAM.
+  MemoryHierarchy(const HierarchyConfig& config, pmu::CounterBank& bank);
+
+  /// Per-core hierarchy for SMP composition: owns the core-private levels
+  /// (L1I/L1D/L2/TLBs) but shares `l3` and `dram` with sibling cores. The
+  /// shared structures must outlive this object.
+  MemoryHierarchy(const HierarchyConfig& config, pmu::CounterBank& bank,
+                  cache::Cache& shared_l3, mem::Dram& shared_dram);
+
+  /// Performs one access, updating caches/TLBs and the counter bank.
+  AccessLatency access(Address addr, AccessType type);
+
+  // --- gating actuators (BMC escalation ladder) ---
+  void set_l3_ways(std::uint32_t n);
+  void set_l2_ways(std::uint32_t n);
+  void set_itlb_entries(std::uint32_t n) { itlb_.set_active_entries(n); }
+  void set_dtlb_entries(std::uint32_t n) { dtlb_.set_active_entries(n); }
+  void set_dram_gated(bool gated) { dram_->set_gated(gated); }
+
+  std::uint32_t l3_ways() const { return l3_->active_ways(); }
+  std::uint32_t l2_ways() const { return l2_.active_ways(); }
+  std::uint32_t itlb_entries() const { return itlb_.active_entries(); }
+  std::uint32_t dtlb_entries() const { return dtlb_.active_entries(); }
+  bool dram_gated() const { return dram_->gated(); }
+
+  /// OS-noise hook: a context switch evicts translations.
+  void flush_tlbs();
+  void flush_caches();
+  /// Flushes only the core-private levels (SMP L3 reconfiguration).
+  void flush_private();
+
+  // --- component access for tests and stats ---
+  const cache::Cache& l1i() const { return l1i_; }
+  const cache::Cache& l1d() const { return l1d_; }
+  const cache::Cache& l2() const { return l2_; }
+  const cache::Cache& l3() const { return *l3_; }
+  const cache::Tlb& itlb() const { return itlb_; }
+  const cache::Tlb& dtlb() const { return dtlb_; }
+  const mem::Dram& dram() const { return *dram_; }
+
+  const HierarchyConfig& config() const { return config_; }
+
+ private:
+  /// Invalidate an L3-evicted line from the inner levels (inclusive L3).
+  void back_invalidate(Address line);
+
+  HierarchyConfig config_;
+  pmu::CounterBank& bank_;
+  cache::Cache l1i_;
+  cache::Cache l1d_;
+  cache::Cache l2_;
+  cache::Tlb itlb_;
+  cache::Tlb dtlb_;
+  // Shared levels: owned for a single-core node, external for SMP cores.
+  std::unique_ptr<cache::Cache> owned_l3_;
+  std::unique_ptr<mem::Dram> owned_dram_;
+  cache::Cache* l3_;
+  mem::Dram* dram_;
+};
+
+}  // namespace pcap::sim

@@ -1,0 +1,37 @@
+#include "sim/machine_config.hpp"
+
+namespace pcap::sim {
+
+MachineConfig MachineConfig::romley() {
+  MachineConfig m;
+
+  m.hierarchy.l1i = {.name = "L1I",
+                     .size_bytes = 32 * 1024,
+                     .line_bytes = 64,
+                     .ways = 8,
+                     .write_allocate = false};
+  m.hierarchy.l1d = {.name = "L1D",
+                     .size_bytes = 32 * 1024,
+                     .line_bytes = 64,
+                     .ways = 8,
+                     .write_allocate = true};
+  m.hierarchy.l2 = {.name = "L2",
+                    .size_bytes = 256 * 1024,
+                    .line_bytes = 64,
+                    .ways = 8,
+                    .write_allocate = true};
+  m.hierarchy.l3 = {.name = "L3",
+                    .size_bytes = 20 * 1024 * 1024,
+                    .line_bytes = 64,
+                    .ways = 20,
+                    .write_allocate = true};
+  m.hierarchy.itlb = {.name = "ITLB", .entries = 48, .page_bytes = 4096};
+  m.hierarchy.dtlb = {.name = "DTLB", .entries = 64, .page_bytes = 4096};
+  m.hierarchy.dram = mem::DramConfig{};
+
+  // NodePowerConfig / ThermalConfig / CoreTimingConfig defaults are already
+  // calibrated against the paper's operating points (see power/model.hpp).
+  return m;
+}
+
+}  // namespace pcap::sim

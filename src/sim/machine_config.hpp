@@ -1,0 +1,78 @@
+// Aggregate configuration describing the simulated platform: the paper's
+// dual-socket Sandy Bridge "Romley" node (E5-2680) plus the simulator's
+// timing-compression constants.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "cache/tlb.hpp"
+#include "mem/dram.hpp"
+#include "power/model.hpp"
+#include "power/pstate.hpp"
+#include "power/thermal.hpp"
+#include "util/units.hpp"
+
+namespace pcap::sim {
+
+/// In-order core timing parameters.
+struct CoreTimingConfig {
+  double base_ipc = 1.6;               // micro-ops per cycle absent stalls
+  double branch_fraction = 0.08;       // of committed instructions
+  double mispredict_rate = 0.012;      // of branches
+  std::uint32_t mispredict_penalty_cycles = 14;
+  std::uint32_t mispredict_replay_uops = 20;  // speculative work discarded
+  std::uint32_t ins_per_fetch = 8;     // committed instructions per I-fetch
+  std::uint32_t noise_replay_uops = 48;  // pipeline drain on an OS tick
+};
+
+/// Memory hierarchy geometry and latencies. Cache latencies are in core
+/// cycles (they scale with DVFS); DRAM latency is wall-clock (it does not).
+struct HierarchyConfig {
+  cache::CacheConfig l1i;
+  cache::CacheConfig l1d;
+  cache::CacheConfig l2;
+  cache::CacheConfig l3;
+  cache::TlbConfig itlb;
+  cache::TlbConfig dtlb;
+  mem::DramConfig dram;
+
+  std::uint32_t l1_hit_cycles = 4;
+  std::uint32_t l2_extra_cycles = 6;
+  std::uint32_t l3_extra_cycles = 14;
+  std::uint32_t tlb_walk_cycles = 28;
+
+  /// Optional next-line hardware prefetcher at the L2: on a demand L2 miss
+  /// (data side), the following `prefetch_depth` lines are pulled into
+  /// L2/L3 off the critical path. Off by default — the calibration against
+  /// the paper's operating points was done without it; enable for the
+  /// prefetch ablation.
+  bool prefetch_enabled = false;
+  std::uint32_t prefetch_depth = 2;
+};
+
+/// Simulated-time housekeeping periods.
+///
+/// The simulator compresses wall-clock time: a paper-scale run of minutes
+/// becomes tens of simulated milliseconds, and every management-plane period
+/// shrinks by the same `time_compression` factor. What the dynamics depend
+/// on — control periods per run and the ratios between time constants — is
+/// preserved (see DESIGN.md).
+struct TickConfig {
+  double time_compression = 5000.0;
+  util::Picoseconds node_tick = util::microseconds(5);
+  util::Picoseconds meter_period = util::microseconds(200);   // 1 s real
+  util::Picoseconds bmc_period = util::microseconds(20);      // 100 ms real
+  util::Picoseconds os_noise_period = util::microseconds(250);
+};
+
+struct MachineConfig {
+  CoreTimingConfig core;
+  HierarchyConfig hierarchy;
+  power::NodePowerConfig power;
+  power::ThermalConfig thermal;
+  TickConfig ticks;
+
+  /// The paper's experimental platform.
+  static MachineConfig romley();
+};
+
+}  // namespace pcap::sim

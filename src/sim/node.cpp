@@ -1,0 +1,177 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+
+#include "sim/execution_context.hpp"
+
+namespace pcap::sim {
+
+using pmu::Event;
+
+Node::Node(const MachineConfig& config, std::uint64_t seed)
+    : config_(config),
+      pstates_(power::PStateTable::romley_e5_2680()),
+      hierarchy_(config.hierarchy, bank_),
+      core_(config.core, pstates_, bank_),
+      power_model_(config.power),
+      thermal_(config.thermal),
+      meter_(config.ticks.meter_period),
+      rng_(seed) {
+  watts_ = power_model_.total_watts(assemble_inputs());
+  meter_.start_session(0);
+  next_tick_ = config_.ticks.node_tick;
+  next_control_ = config_.ticks.bmc_period;
+  next_noise_ = config_.ticks.os_noise_period;
+}
+
+power::PowerInputs Node::assemble_inputs() const {
+  power::PowerInputs in;
+  in.workload_running = running_;
+  in.active_cores = running_ ? 1 + background_cores_ : 0;
+  in.frequency = core_.frequency();
+  in.voltage = core_.voltage();
+  in.duty = core_.duty();
+  in.activity = running_ ? activity_ : 0.0;
+  in.l3_accesses_per_s = l3_rate_hz_;
+  in.dram_accesses_per_s = dram_rate_hz_;
+  in.l3_active_ways = static_cast<int>(hierarchy_.l3_ways());
+  in.dram_gated = hierarchy_.dram_gated();
+  in.temperature_c = thermal_.temperature_c();
+  return in;
+}
+
+void Node::tick() {
+  const util::Picoseconds now = core_.now();
+  const util::Picoseconds dt = now > last_tick_ ? now - last_tick_ : 0;
+  if (dt == 0) {
+    next_tick_ = now + config_.ticks.node_tick;
+    return;
+  }
+  const double dt_s = util::to_seconds(dt);
+
+  // Activity and transaction rates from counter deltas over the tick.
+  const std::uint64_t l3_acc = bank_.get(Event::kL3Tca);
+  const std::uint64_t dram_acc = bank_.get(Event::kDramAcc);
+  const std::uint64_t ins = bank_.get(Event::kTotIns);
+  const std::uint64_t cyc = bank_.get(Event::kTotCyc);
+  l3_rate_hz_ = static_cast<double>(l3_acc - last_l3_acc_) / dt_s;
+  dram_rate_hz_ = static_cast<double>(dram_acc - last_dram_acc_) / dt_s;
+  const std::uint64_t stall = bank_.get(Event::kStallCyc);
+  const std::uint64_t d_cyc = cyc - last_cyc_;
+  if (d_cyc != 0) {
+    const double ipc = static_cast<double>(ins - last_ins_) /
+                       static_cast<double>(d_cyc);
+    const double norm = std::min(ipc / config_.core.base_ipc, 1.0);
+    activity_ = 0.70 + 0.30 * norm;
+    stall_fraction_ = std::min(
+        static_cast<double>(stall - last_stall_) / static_cast<double>(d_cyc),
+        1.0);
+  } else if (!running_) {
+    stall_fraction_ = 0.0;
+  }
+  last_l3_acc_ = l3_acc;
+  last_dram_acc_ = dram_acc;
+  last_ins_ = ins;
+  last_cyc_ = cyc;
+  last_stall_ = stall;
+
+  // Power, heat, metering.
+  watts_ = power_model_.total_watts(assemble_inputs());
+  peak_watts_ = std::max(peak_watts_, watts_);
+  const double silicon_watts =
+      watts_ - config_.power.platform_base_w - config_.power.dram_background_w;
+  thermal_.update(std::max(silicon_watts, 0.0), dt);
+  meter_.observe(now, watts_);
+  window_energy_j_ += watts_ * dt_s;
+
+  // Run-level integrals for the reported average frequency / duty.
+  freq_time_integral_ += static_cast<double>(core_.frequency()) * dt_s;
+  duty_time_integral_ += core_.duty() * dt_s;
+
+  // OS noise: timer interrupts flush translations and drain the pipeline.
+  // Fires per unit of *time*, so heavily throttled (longer) runs absorb more
+  // of it — one source of the paper's counter noise at low caps.
+  if (os_noise_enabled_ && running_ && now >= next_noise_) {
+    hierarchy_.flush_tlbs();
+    core_.external_drain();
+    // Jitter the period a little so noise does not alias with control.
+    const double jitter = 0.8 + 0.4 * rng_.uniform();
+    next_noise_ =
+        now + static_cast<util::Picoseconds>(
+                  static_cast<double>(config_.ticks.os_noise_period) * jitter);
+  }
+
+  // Management plane.
+  if (control_hook_ && now >= next_control_) {
+    control_hook_(*this);
+    next_control_ = now + config_.ticks.bmc_period;
+  }
+
+  last_tick_ = now;
+  next_tick_ = now + config_.ticks.node_tick;
+}
+
+double Node::window_average_power_w() {
+  const util::Picoseconds now = core_.now();
+  const util::Picoseconds dt = now > window_start_ ? now - window_start_ : 0;
+  double avg = watts_;
+  if (dt != 0 && window_energy_j_ > 0.0) {
+    avg = window_energy_j_ / util::to_seconds(dt);
+  }
+  window_start_ = now;
+  window_energy_j_ = 0.0;
+  return avg;
+}
+
+RunReport Node::run(Workload& workload) {
+  const util::Picoseconds start = core_.now();
+  const auto before = bank_.snapshot();
+
+  running_ = true;
+  meter_.start_session(start);
+  peak_watts_ = watts_;
+  freq_time_integral_ = 0.0;
+  duty_time_integral_ = 0.0;
+  window_start_ = start;
+  window_energy_j_ = 0.0;
+  last_tick_ = start;
+  next_tick_ = start + config_.ticks.node_tick;
+  next_control_ = start + config_.ticks.bmc_period;
+  next_noise_ = start + config_.ticks.os_noise_period;
+
+  ExecutionContext ctx(*this);
+  workload.run(ctx);
+  tick();  // capture the tail of the run
+  running_ = false;
+
+  RunReport report;
+  report.workload = workload.name();
+  report.elapsed = core_.now() - start;
+  report.energy_j = meter_.energy_joules();
+  report.avg_power_w = meter_.average_watts();
+  report.peak_power_w = peak_watts_;
+  const double elapsed_s = util::to_seconds(report.elapsed);
+  if (elapsed_s > 0.0) {
+    report.avg_frequency =
+        static_cast<util::Hertz>(freq_time_integral_ / elapsed_s);
+    report.avg_duty = duty_time_integral_ / elapsed_s;
+  }
+  report.final_temperature_c = thermal_.temperature_c();
+  const auto after = bank_.snapshot();
+  for (std::size_t i = 0; i < pmu::kEventCount; ++i) {
+    report.counters[i] = after[i] - before[i];
+  }
+  return report;
+}
+
+void Node::idle_for(util::Picoseconds duration) {
+  const util::Picoseconds end = core_.now() + duration;
+  while (core_.now() < end) {
+    const util::Picoseconds step =
+        std::min(config_.ticks.node_tick, end - core_.now());
+    core_.idle_advance(step);
+    tick();
+  }
+}
+
+}  // namespace pcap::sim

@@ -1,0 +1,187 @@
+// The simulated compute node: one active core driving the memory hierarchy,
+// the node power/thermal model, a wall power meter, and the housekeeping tick
+// loop that the management plane (BMC) hooks into.
+//
+// The Node implements PlatformControl, so BMC firmware written against that
+// interface manages this node exactly as Intel Node Manager manages a real
+// one: sampling averaged power and actuating P-states, T-states, cache/TLB
+// gating and memory gating, all out-of-band from the workload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "meter/watts_up.hpp"
+#include "pmu/counters.hpp"
+#include "power/model.hpp"
+#include "power/pstate.hpp"
+#include "power/thermal.hpp"
+#include "sim/core_model.hpp"
+#include "sim/execution_context.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/platform_control.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pcap::sim {
+
+/// Everything the paper measures for one application run.
+struct RunReport {
+  std::string workload;
+  util::Picoseconds elapsed = 0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double peak_power_w = 0.0;
+  util::Hertz avg_frequency = 0;
+  double avg_duty = 1.0;
+  double final_temperature_c = 0.0;
+  /// Per-event deltas over the run, indexable by pmu::index_of(event).
+  std::array<std::uint64_t, pmu::kEventCount> counters{};
+
+  std::uint64_t counter(pmu::Event e) const { return counters[pmu::index_of(e)]; }
+};
+
+class Node final : public PlatformControl, public TickSink {
+ public:
+  explicit Node(const MachineConfig& config, std::uint64_t seed = 1);
+
+  // Non-copyable (the ExecutionContext and hooks hold references).
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Runs a workload to completion under the current management policy and
+  /// returns the measured report.
+  RunReport run(Workload& workload);
+
+  /// Advances simulated time with no workload (for idle-power measurement).
+  void idle_for(util::Picoseconds duration);
+
+  /// Resets the meter session (used with idle_for to measure idle power).
+  void start_metering() { meter_.start_session(core_.now()); }
+
+  /// Installs the management hook called every BMC control period with this
+  /// node's PlatformControl face (pass nullptr to uninstall).
+  using ControlHook = std::function<void(PlatformControl&)>;
+  void set_control_hook(ControlHook hook) { control_hook_ = std::move(hook); }
+
+  /// Enables/disables the OS-noise model (periodic TLB flush + pipeline
+  /// drain from timer interrupts). On by default.
+  void set_os_noise(bool enabled) { os_noise_enabled_ = enabled; }
+
+  /// Extension (paper §V future work): additional cores kept active while a
+  /// workload runs. They contribute core power (raising the demand the BMC
+  /// must throttle) but their instruction streams are not simulated.
+  void set_background_active_cores(int n) { background_cores_ = n; }
+  int background_active_cores() const { return background_cores_; }
+
+  // --- component access ---
+  const MachineConfig& config() const { return config_; }
+  pmu::CounterBank& counters() { return bank_; }
+  const pmu::CounterBank& counters() const { return bank_; }
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+  const MemoryHierarchy& hierarchy() const { return hierarchy_; }
+  CoreModel& core() { return core_; }
+  const meter::WattsUp& meter() const { return meter_; }
+  const power::PStateTable& pstates() const { return pstates_; }
+  double temperature_c() const { return thermal_.temperature_c(); }
+  bool workload_running() const { return running_; }
+
+  // --- PlatformControl (the BMC-facing surface) ---
+  std::uint32_t pstate_count() const override {
+    return static_cast<std::uint32_t>(pstates_.size());
+  }
+  std::uint32_t pstate() const override { return core_.pstate(); }
+  void set_pstate(std::uint32_t index) override { core_.set_pstate(index); }
+  util::Hertz frequency() const override { return core_.frequency(); }
+  double duty() const override { return core_.duty(); }
+  void set_duty(double duty) override { core_.set_duty(duty); }
+  double min_duty() const override { return CoreModel::kMinDuty; }
+  std::uint32_t l3_ways() const override { return hierarchy_.l3_ways(); }
+  std::uint32_t l3_max_ways() const override {
+    return config_.hierarchy.l3.ways;
+  }
+  void set_l3_ways(std::uint32_t n) override { hierarchy_.set_l3_ways(n); }
+  std::uint32_t l2_ways() const override { return hierarchy_.l2_ways(); }
+  std::uint32_t l2_max_ways() const override {
+    return config_.hierarchy.l2.ways;
+  }
+  void set_l2_ways(std::uint32_t n) override { hierarchy_.set_l2_ways(n); }
+  std::uint32_t itlb_entries() const override { return hierarchy_.itlb_entries(); }
+  std::uint32_t itlb_max_entries() const override {
+    return config_.hierarchy.itlb.entries;
+  }
+  void set_itlb_entries(std::uint32_t n) override {
+    hierarchy_.set_itlb_entries(n);
+  }
+  std::uint32_t dtlb_entries() const override { return hierarchy_.dtlb_entries(); }
+  std::uint32_t dtlb_max_entries() const override {
+    return config_.hierarchy.dtlb.entries;
+  }
+  void set_dtlb_entries(std::uint32_t n) override {
+    hierarchy_.set_dtlb_entries(n);
+  }
+  bool dram_gated() const override { return hierarchy_.dram_gated(); }
+  void set_dram_gated(bool gated) override { hierarchy_.set_dram_gated(gated); }
+  double window_average_power_w() override;
+  double instantaneous_power_w() const override { return watts_; }
+  double memory_stall_fraction() const override { return stall_fraction_; }
+  util::Picoseconds now() const override { return core_.now(); }
+
+  /// Called by the ExecutionContext after every priced operation; runs the
+  /// housekeeping tick when due.
+  void maybe_tick() {
+    if (core_.now() >= next_tick_) tick();
+  }
+  void on_op() override { maybe_tick(); }
+
+ private:
+  void tick();
+  power::PowerInputs assemble_inputs() const;
+
+  MachineConfig config_;
+  power::PStateTable pstates_;
+  pmu::CounterBank bank_;
+  MemoryHierarchy hierarchy_;
+  CoreModel core_;
+  power::NodePowerModel power_model_;
+  power::ThermalModel thermal_;
+  meter::WattsUp meter_;
+  util::Rng rng_;
+  ControlHook control_hook_;
+
+  bool running_ = false;
+  bool os_noise_enabled_ = true;
+  int background_cores_ = 0;
+  double watts_ = 0.0;
+  double peak_watts_ = 0.0;
+
+  util::Picoseconds last_tick_ = 0;
+  util::Picoseconds next_tick_ = 0;
+  util::Picoseconds next_control_ = 0;
+  util::Picoseconds next_noise_ = 0;
+
+  // Sensor window for the BMC.
+  double window_energy_j_ = 0.0;
+  util::Picoseconds window_start_ = 0;
+
+  // Run-level integrals.
+  double freq_time_integral_ = 0.0;  // Hz * seconds
+  double duty_time_integral_ = 0.0;  // seconds
+
+  // Rate computation between ticks.
+  std::uint64_t last_l3_acc_ = 0;
+  std::uint64_t last_dram_acc_ = 0;
+  std::uint64_t last_ins_ = 0;
+  std::uint64_t last_cyc_ = 0;
+  double activity_ = 0.9;
+  double stall_fraction_ = 0.0;
+  std::uint64_t last_stall_ = 0;
+  double l3_rate_hz_ = 0.0;
+  double dram_rate_hz_ = 0.0;
+};
+
+}  // namespace pcap::sim

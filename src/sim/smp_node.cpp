@@ -1,0 +1,360 @@
+#include "sim/smp_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcap::sim {
+
+using pmu::Event;
+
+SmpNode::SmpNode(const SmpConfig& config, std::uint64_t seed)
+    : config_(config),
+      pstates_(power::PStateTable::romley_e5_2680()),
+      l3_(config.machine.hierarchy.l3),
+      dram_(config.machine.hierarchy.dram),
+      power_model_(config.machine.power),
+      thermal_(config.machine.thermal),
+      meter_(config.machine.ticks.meter_period),
+      rng_(seed) {
+  if (config.cores < 1) throw std::invalid_argument("SmpNode: cores < 1");
+  if (config.cores > config.machine.power.cores) {
+    throw std::invalid_argument("SmpNode: more cores than the platform has");
+  }
+  lanes_.reserve(static_cast<std::size_t>(config.cores));
+  for (int i = 0; i < config.cores; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->owner = this;
+    lane->index = i;
+    lane->hierarchy = std::make_unique<MemoryHierarchy>(
+        config.machine.hierarchy, lane->bank, l3_, dram_);
+    lane->core = std::make_unique<CoreModel>(config.machine.core, pstates_,
+                                             lane->bank);
+    lanes_.push_back(std::move(lane));
+  }
+  watts_ = power_model_.total_watts(assemble_inputs());
+  meter_.start_session(0);
+}
+
+SmpNode::~SmpNode() = default;
+
+// --- PlatformControl: package-level actuation ---
+
+std::uint32_t SmpNode::pstate() const { return lanes_.front()->core->pstate(); }
+
+void SmpNode::set_pstate(std::uint32_t index) {
+  for (auto& lane : lanes_) lane->core->set_pstate(index);
+}
+
+util::Hertz SmpNode::frequency() const {
+  return lanes_.front()->core->frequency();
+}
+
+double SmpNode::duty() const { return lanes_.front()->core->duty(); }
+
+void SmpNode::set_duty(double duty) {
+  for (auto& lane : lanes_) lane->core->set_duty(duty);
+}
+
+void SmpNode::set_l3_ways(std::uint32_t n) {
+  const bool shrinking = n < l3_.active_ways();
+  l3_.set_active_ways(n);
+  if (shrinking) {
+    // Inclusive-L3 reconfiguration disrupts every core's private levels.
+    for (auto& lane : lanes_) lane->hierarchy->flush_private();
+  }
+}
+
+std::uint32_t SmpNode::l2_ways() const {
+  return lanes_.front()->hierarchy->l2_ways();
+}
+
+void SmpNode::set_l2_ways(std::uint32_t n) {
+  for (auto& lane : lanes_) lane->hierarchy->set_l2_ways(n);
+}
+
+std::uint32_t SmpNode::itlb_entries() const {
+  return lanes_.front()->hierarchy->itlb_entries();
+}
+
+void SmpNode::set_itlb_entries(std::uint32_t n) {
+  for (auto& lane : lanes_) lane->hierarchy->set_itlb_entries(n);
+}
+
+std::uint32_t SmpNode::dtlb_entries() const {
+  return lanes_.front()->hierarchy->dtlb_entries();
+}
+
+void SmpNode::set_dtlb_entries(std::uint32_t n) {
+  for (auto& lane : lanes_) lane->hierarchy->set_dtlb_entries(n);
+}
+
+void SmpNode::flush_all_caches() {
+  for (auto& lane : lanes_) {
+    lane->hierarchy->flush_private();
+    lane->hierarchy->flush_tlbs();
+  }
+  l3_.flush_all();
+  dram_.close_rows();
+}
+
+double SmpNode::window_average_power_w() {
+  const util::Picoseconds dt =
+      node_now_ > window_start_ ? node_now_ - window_start_ : 0;
+  double avg = watts_;
+  if (dt != 0 && window_energy_j_ > 0.0) {
+    avg = window_energy_j_ / util::to_seconds(dt);
+  }
+  window_start_ = node_now_;
+  window_energy_j_ = 0.0;
+  return avg;
+}
+
+// --- power assembly ---
+
+int SmpNode::running_lanes() const {
+  int count = 0;
+  for (const auto& lane : lanes_) count += lane->finished ? 0 : 1;
+  return count;
+}
+
+power::PowerInputs SmpNode::assemble_inputs() const {
+  power::PowerInputs in;
+  const int active = running_lanes();
+  in.workload_running = running_ && active > 0;
+  in.active_cores = in.workload_running ? active : 0;
+  in.frequency = frequency();
+  in.voltage = lanes_.front()->core->voltage();
+  in.duty = duty();
+  in.activity = in.workload_running ? activity_ : 0.0;
+  in.l3_accesses_per_s = l3_rate_hz_;
+  in.dram_accesses_per_s = dram_rate_hz_;
+  in.l3_active_ways = static_cast<int>(l3_.active_ways());
+  in.dram_gated = dram_.gated();
+  in.temperature_c = thermal_.temperature_c();
+  return in;
+}
+
+void SmpNode::housekeeping(util::Picoseconds upto) {
+  if (upto <= last_tick_) return;
+  const util::Picoseconds dt = upto - last_tick_;
+  const double dt_s = util::to_seconds(dt);
+
+  // Aggregate counter rates across lanes.
+  std::uint64_t l3_acc = 0, dram_acc = 0, ins = 0, cyc = 0, stall = 0;
+  for (const auto& lane : lanes_) {
+    l3_acc += lane->bank.get(Event::kL3Tca);
+    dram_acc += lane->bank.get(Event::kDramAcc);
+    ins += lane->bank.get(Event::kTotIns);
+    cyc += lane->bank.get(Event::kTotCyc);
+    stall += lane->bank.get(Event::kStallCyc);
+  }
+  l3_rate_hz_ = static_cast<double>(l3_acc - last_l3_acc_) / dt_s;
+  dram_rate_hz_ = static_cast<double>(dram_acc - last_dram_acc_) / dt_s;
+  const std::uint64_t d_cyc = cyc - last_cyc_;
+  if (d_cyc != 0) {
+    const double ipc =
+        static_cast<double>(ins - last_ins_) / static_cast<double>(d_cyc);
+    activity_ = 0.70 + 0.30 * std::min(ipc / config_.machine.core.base_ipc, 1.0);
+    stall_fraction_ = std::min(
+        static_cast<double>(stall - last_stall_) / static_cast<double>(d_cyc),
+        1.0);
+  } else if (!running_) {
+    stall_fraction_ = 0.0;
+  }
+  last_l3_acc_ = l3_acc;
+  last_dram_acc_ = dram_acc;
+  last_ins_ = ins;
+  last_cyc_ = cyc;
+  last_stall_ = stall;
+
+  watts_ = power_model_.total_watts(assemble_inputs());
+  peak_watts_ = std::max(peak_watts_, watts_);
+  const double silicon = watts_ - config_.machine.power.platform_base_w -
+                         config_.machine.power.dram_background_w;
+  thermal_.update(std::max(silicon, 0.0), dt);
+  meter_.observe(upto, watts_);
+  window_energy_j_ += watts_ * dt_s;
+  freq_time_integral_ += static_cast<double>(frequency()) * dt_s;
+
+  node_now_ = upto;
+
+  if (os_noise_enabled_ && running_ && upto >= next_noise_) {
+    for (auto& lane : lanes_) {
+      lane->hierarchy->flush_tlbs();
+      if (!lane->finished) lane->core->external_drain();
+    }
+    const double jitter = 0.8 + 0.4 * rng_.uniform();
+    next_noise_ = upto + static_cast<util::Picoseconds>(
+                             static_cast<double>(
+                                 config_.machine.ticks.os_noise_period) *
+                             jitter);
+  }
+  if (control_hook_ && upto >= next_control_) {
+    control_hook_(*this);
+    next_control_ = upto + config_.machine.ticks.bmc_period;
+  }
+  last_tick_ = upto;
+}
+
+// --- scheduler token protocol ---
+
+void SmpNode::Lane::on_op() {
+  if (core->now() < quantum_end) return;
+  owner->yield_from(*this);
+}
+
+void SmpNode::yield_from(Lane& lane) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  token_ = -1;
+  cv_.notify_all();
+  cv_.wait(lock, [this, &lane] { return token_ == lane.index; });
+}
+
+void SmpNode::finish_from(Lane& lane) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lane.finished = true;
+  token_ = -1;
+  cv_.notify_all();
+}
+
+int SmpNode::pick_next_lane() const {
+  int best = -1;
+  for (const auto& lane : lanes_) {
+    if (lane->finished) continue;
+    if (best < 0 || lane->core->now() < lanes_[static_cast<std::size_t>(best)]
+                                            ->core->now()) {
+      best = lane->index;
+    }
+  }
+  return best;
+}
+
+SmpRunReport SmpNode::run(std::span<Workload* const> workloads) {
+  if (workloads.empty() ||
+      workloads.size() > static_cast<std::size_t>(core_count())) {
+    throw std::invalid_argument("SmpNode::run: bad workload count");
+  }
+  for (Workload* w : workloads) {
+    if (w == nullptr) throw std::invalid_argument("SmpNode::run: null workload");
+  }
+
+  // Align every core to a common start time.
+  util::Picoseconds start = node_now_;
+  for (const auto& lane : lanes_) start = std::max(start, lane->core->now());
+  for (const auto& lane : lanes_) {
+    if (lane->core->now() < start) {
+      lane->core->idle_advance(start - lane->core->now());
+    }
+  }
+
+  running_ = true;
+  meter_.start_session(start);
+  peak_watts_ = watts_;
+  freq_time_integral_ = 0.0;
+  node_now_ = start;
+  last_tick_ = start;
+  next_control_ = start + config_.machine.ticks.bmc_period;
+  next_noise_ = start + config_.machine.ticks.os_noise_period;
+  window_start_ = start;
+  window_energy_j_ = 0.0;
+
+  for (auto& lane : lanes_) {
+    lane->workload = nullptr;
+    lane->finished = true;
+    lane->start_time = start;
+    lane->start_counters = lane->bank.snapshot();
+  }
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    lanes_[i]->workload = workloads[i];
+    lanes_[i]->finished = false;
+  }
+
+  // Seed the aggregate-rate baselines.
+  last_l3_acc_ = last_dram_acc_ = last_ins_ = last_cyc_ = 0;
+  for (const auto& lane : lanes_) {
+    last_l3_acc_ += lane->bank.get(Event::kL3Tca);
+    last_dram_acc_ += lane->bank.get(Event::kDramAcc);
+    last_ins_ += lane->bank.get(Event::kTotIns);
+    last_cyc_ += lane->bank.get(Event::kTotCyc);
+  }
+
+  // Launch one host thread per active lane; each waits for the token.
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    Lane* lane = lanes_[i].get();
+    lane->thread = std::thread([this, lane] {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this, lane] { return token_ == lane->index; });
+      }
+      ExecutionContext ctx(*lane->hierarchy, *lane->core, *lane,
+                           config_.machine,
+                           static_cast<std::uint32_t>(lane->index));
+      lane->workload->run(ctx);
+      finish_from(*lane);
+    });
+  }
+
+  // Master scheduling loop: always advance the laggard core.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const int next = pick_next_lane();
+      if (next < 0) break;
+      Lane& lane = *lanes_[static_cast<std::size_t>(next)];
+      lane.quantum_end = lane.core->now() + config_.quantum;
+      token_ = next;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return token_ == -1; });
+
+      // Housekeeping runs up to the slowest unfinished core (everything
+      // before that point is final).
+      util::Picoseconds horizon = 0;
+      bool any_unfinished = false;
+      for (const auto& l : lanes_) {
+        if (!l->finished) {
+          horizon = any_unfinished ? std::min(horizon, l->core->now())
+                                   : l->core->now();
+          any_unfinished = true;
+        }
+      }
+      if (any_unfinished) housekeeping(horizon);
+    }
+  }
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+
+  // Close out the run at the slowest core's finish time.
+  util::Picoseconds end = start;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    end = std::max(end, lanes_[i]->core->now());
+  }
+  housekeeping(end);
+  running_ = false;
+
+  SmpRunReport report;
+  report.elapsed = end - start;
+  report.energy_j = meter_.energy_joules();
+  report.avg_power_w = meter_.average_watts();
+  report.peak_power_w = peak_watts_;
+  const double elapsed_s = util::to_seconds(report.elapsed);
+  if (elapsed_s > 0.0) {
+    report.avg_frequency =
+        static_cast<util::Hertz>(freq_time_integral_ / elapsed_s);
+  }
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Lane& lane = *lanes_[i];
+    SmpCoreReport core_report;
+    core_report.workload = workloads[i]->name();
+    core_report.elapsed = lane.core->now() - lane.start_time;
+    const auto after = lane.bank.snapshot();
+    for (std::size_t e = 0; e < pmu::kEventCount; ++e) {
+      core_report.counters[e] = after[e] - lane.start_counters[e];
+      report.counters[e] += core_report.counters[e];
+    }
+    report.cores.push_back(std::move(core_report));
+  }
+  return report;
+}
+
+}  // namespace pcap::sim

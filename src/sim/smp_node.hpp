@@ -1,0 +1,216 @@
+// Symmetric multiprocessing node: N cores, each with its own pipeline,
+// private L1I/L1D/L2 and TLBs, sharing the L3 and DRAM — the substrate for
+// the paper's first future-work question ("how are multi-core applications
+// affected by power capping?").
+//
+// Each workload runs on its own core, on its own host thread, but execution
+// is strictly serialised by a scheduler token: exactly one core advances at
+// a time, in fixed simulated-time quanta, and the core with the smallest
+// local time always runs next. The interleaving over the shared L3/DRAM is
+// therefore deterministic (identical seeds reproduce runs bit-for-bit) and
+// free of data races, while contention between cores is modelled for real:
+// co-running workloads evict each other's L3 lines and disturb each other's
+// DRAM row buffers.
+//
+// The SmpNode exposes the same PlatformControl face as the single-core
+// Node, so the unmodified BMC firmware caps it; P-state/duty/gating
+// actuations apply to every core (package-level control, as on the real
+// platform).
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "mem/dram.hpp"
+#include "meter/watts_up.hpp"
+#include "pmu/counters.hpp"
+#include "power/model.hpp"
+#include "power/pstate.hpp"
+#include "power/thermal.hpp"
+#include "sim/core_model.hpp"
+#include "sim/execution_context.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/platform_control.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace pcap::sim {
+
+struct SmpConfig {
+  MachineConfig machine = MachineConfig::romley();
+  int cores = 2;
+  /// Scheduling quantum in simulated time: a core runs at most this long
+  /// before the token moves to the laggard core.
+  util::Picoseconds quantum = util::microseconds(5);
+};
+
+struct SmpCoreReport {
+  std::string workload;
+  util::Picoseconds elapsed = 0;
+  std::array<std::uint64_t, pmu::kEventCount> counters{};
+
+  std::uint64_t counter(pmu::Event e) const {
+    return counters[pmu::index_of(e)];
+  }
+};
+
+struct SmpRunReport {
+  util::Picoseconds elapsed = 0;  // slowest core's finish time
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double peak_power_w = 0.0;
+  util::Hertz avg_frequency = 0;
+  std::vector<SmpCoreReport> cores;
+  /// Aggregate counter deltas across all cores.
+  std::array<std::uint64_t, pmu::kEventCount> counters{};
+
+  std::uint64_t counter(pmu::Event e) const {
+    return counters[pmu::index_of(e)];
+  }
+};
+
+class SmpNode final : public PlatformControl {
+ public:
+  explicit SmpNode(const SmpConfig& config, std::uint64_t seed = 1);
+  ~SmpNode() override;
+
+  SmpNode(const SmpNode&) = delete;
+  SmpNode& operator=(const SmpNode&) = delete;
+
+  int core_count() const { return static_cast<int>(lanes_.size()); }
+  const SmpConfig& config() const { return config_; }
+
+  /// Runs one workload per core (workloads.size() <= core_count();
+  /// remaining cores stay parked). Throws std::invalid_argument on
+  /// size mismatch or null entries.
+  SmpRunReport run(std::span<Workload* const> workloads);
+
+  using ControlHook = std::function<void(PlatformControl&)>;
+  void set_control_hook(ControlHook hook) { control_hook_ = std::move(hook); }
+  void set_os_noise(bool enabled) { os_noise_enabled_ = enabled; }
+
+  /// Cold-start hygiene between measured runs (the single-core
+  /// CappedRunner's equivalent): drops every cache/TLB on every core plus
+  /// the shared levels.
+  void flush_all_caches();
+
+  const meter::WattsUp& meter() const { return meter_; }
+  const cache::Cache& shared_l3() const { return l3_; }
+  const mem::Dram& shared_dram() const { return dram_; }
+  double temperature_c() const { return thermal_.temperature_c(); }
+
+  // --- PlatformControl (package-level: applies to every core) ---
+  std::uint32_t pstate_count() const override {
+    return static_cast<std::uint32_t>(pstates_.size());
+  }
+  std::uint32_t pstate() const override;
+  void set_pstate(std::uint32_t index) override;
+  util::Hertz frequency() const override;
+  double duty() const override;
+  void set_duty(double duty) override;
+  double min_duty() const override { return CoreModel::kMinDuty; }
+  std::uint32_t l3_ways() const override { return l3_.active_ways(); }
+  std::uint32_t l3_max_ways() const override {
+    return config_.machine.hierarchy.l3.ways;
+  }
+  void set_l3_ways(std::uint32_t n) override;
+  std::uint32_t l2_ways() const override;
+  std::uint32_t l2_max_ways() const override {
+    return config_.machine.hierarchy.l2.ways;
+  }
+  void set_l2_ways(std::uint32_t n) override;
+  std::uint32_t itlb_entries() const override;
+  std::uint32_t itlb_max_entries() const override {
+    return config_.machine.hierarchy.itlb.entries;
+  }
+  void set_itlb_entries(std::uint32_t n) override;
+  std::uint32_t dtlb_entries() const override;
+  std::uint32_t dtlb_max_entries() const override {
+    return config_.machine.hierarchy.dtlb.entries;
+  }
+  void set_dtlb_entries(std::uint32_t n) override;
+  bool dram_gated() const override { return dram_.gated(); }
+  void set_dram_gated(bool gated) override { dram_.set_gated(gated); }
+  double window_average_power_w() override;
+  double instantaneous_power_w() const override { return watts_; }
+  double memory_stall_fraction() const override { return stall_fraction_; }
+  util::Picoseconds now() const override { return node_now_; }
+
+ private:
+  /// One core's execution lane; implements the per-op quantum check.
+  struct Lane final : TickSink {
+    SmpNode* owner = nullptr;
+    int index = 0;
+    pmu::CounterBank bank;
+    std::unique_ptr<MemoryHierarchy> hierarchy;
+    std::unique_ptr<CoreModel> core;
+    std::thread thread;
+    Workload* workload = nullptr;
+    bool finished = true;  // no workload assigned yet
+    util::Picoseconds quantum_end = 0;
+    std::array<std::uint64_t, pmu::kEventCount> start_counters{};
+    util::Picoseconds start_time = 0;
+
+    void on_op() override;
+  };
+
+  // Scheduler token protocol (one mutex, one condvar; -1 == master holds).
+  void grant(int lane_index);
+  void yield_from(Lane& lane);
+  void finish_from(Lane& lane);
+  int pick_next_lane() const;  // -1 when all finished
+
+  void housekeeping(util::Picoseconds upto);
+  power::PowerInputs assemble_inputs() const;
+  int running_lanes() const;
+
+  SmpConfig config_;
+  power::PStateTable pstates_;
+  cache::Cache l3_;
+  mem::Dram dram_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  power::NodePowerModel power_model_;
+  power::ThermalModel thermal_;
+  meter::WattsUp meter_;
+  util::Rng rng_;
+  ControlHook control_hook_;
+  bool os_noise_enabled_ = true;
+  bool running_ = false;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int token_ = -1;  // lane index holding the token; -1 == master
+
+  util::Picoseconds node_now_ = 0;
+  util::Picoseconds last_tick_ = 0;
+  util::Picoseconds next_control_ = 0;
+  util::Picoseconds next_noise_ = 0;
+  double watts_ = 0.0;
+  double peak_watts_ = 0.0;
+  double window_energy_j_ = 0.0;
+  util::Picoseconds window_start_ = 0;
+  double freq_time_integral_ = 0.0;
+
+  // Rate computation between housekeeping ticks (aggregate).
+  std::uint64_t last_l3_acc_ = 0;
+  std::uint64_t last_dram_acc_ = 0;
+  std::uint64_t last_ins_ = 0;
+  std::uint64_t last_cyc_ = 0;
+  std::uint64_t last_stall_ = 0;
+  double activity_ = 0.9;
+  double stall_fraction_ = 0.0;
+  double l3_rate_hz_ = 0.0;
+  double dram_rate_hz_ = 0.0;
+};
+
+}  // namespace pcap::sim

@@ -1,0 +1,19 @@
+// Workload interface: applications perform their real computation on host
+// memory while narrating loads/stores/compute to the simulator through an
+// ExecutionContext, which prices every operation on the simulated machine.
+#pragma once
+
+#include <string>
+
+namespace pcap::sim {
+
+class ExecutionContext;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  virtual void run(ExecutionContext& ctx) = 0;
+};
+
+}  // namespace pcap::sim

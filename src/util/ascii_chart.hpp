@@ -1,0 +1,40 @@
+// ASCII line charts for rendering the paper's figures on a console.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pcap::util {
+
+/// One named series of y-values sampled at shared x positions.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Renders one or more series on a shared grid. X positions are categorical
+/// labels (the paper's x axes are power caps / strides). Supports optional
+/// log10 scaling of the y axis for the stride figures.
+class AsciiChart {
+ public:
+  AsciiChart(std::vector<std::string> x_labels, int width = 72, int height = 20);
+
+  void add_series(ChartSeries series);
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> x_labels_;
+  std::vector<ChartSeries> series_;
+  std::string title_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  bool log_y_ = false;
+};
+
+}  // namespace pcap::util

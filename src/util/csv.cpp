@@ -1,0 +1,153 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace pcap::util {
+
+CsvWriter::CsvWriter() = default;
+
+CsvWriter::CsvWriter(const std::string& path) : to_file_(true) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  file_.open(path, std::ios::trunc);
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::~CsvWriter() {
+  if (row_open_) end_row();
+}
+
+std::ostream& CsvWriter::out() {
+  if (to_file_) return file_;
+  return buffer_;
+}
+
+std::string CsvWriter::escape(std::string_view value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(value);
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  if (row_open_) out() << ',';
+  out() << escape(value);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return field(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  return field(std::string_view(std::to_string(value)));
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  return field(std::string_view(std::to_string(value)));
+}
+
+void CsvWriter::end_row() {
+  out() << '\n';
+  row_open_ = false;
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  for (auto f : fields) field(f);
+  end_row();
+}
+
+std::string CsvWriter::str() const { return buffer_.str(); }
+
+void CsvWriter::flush() { out().flush(); }
+
+int CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double CsvTable::number(std::size_t row, int col) const {
+  if (col < 0 || row >= rows.size() ||
+      static_cast<std::size_t>(col) >= rows[row].size()) {
+    return 0.0;
+  }
+  try {
+    return std::stod(rows[row][static_cast<std::size_t>(col)]);
+  } catch (...) {
+    return 0.0;
+  }
+}
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::vector<std::string> current;
+  std::string cell;
+  bool in_quotes = false;
+  bool any_cell = false;
+
+  auto end_cell = [&] {
+    current.push_back(std::move(cell));
+    cell.clear();
+    any_cell = true;
+  };
+  auto end_row = [&] {
+    if (!any_cell && current.empty()) return;  // skip blank lines
+    end_cell();
+    if (table.header.empty()) table.header = std::move(current);
+    else table.rows.push_back(std::move(current));
+    current.clear();
+    any_cell = false;
+    cell.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      end_cell();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  if (!cell.empty() || any_cell) end_row();
+  return table;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace pcap::util

@@ -1,0 +1,71 @@
+// Minimal CSV emission for experiment results.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcap::util {
+
+/// Streams rows of comma-separated values; quotes fields when needed.
+/// Writing to a file creates parent directories if necessary.
+class CsvWriter {
+ public:
+  /// Writes to an in-memory buffer (retrieve with str()).
+  CsvWriter();
+  /// Writes to `path`, truncating. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(int value) { return field(static_cast<std::int64_t>(value)); }
+
+  /// Terminates the current row.
+  void end_row();
+
+  /// Convenience: a full row of string fields.
+  void row(std::initializer_list<std::string_view> fields);
+
+  /// Contents so far (only meaningful for the in-memory constructor).
+  std::string str() const;
+
+  void flush();
+
+ private:
+  std::ostream& out();
+  static std::string escape(std::string_view value);
+
+  std::ostringstream buffer_;
+  std::ofstream file_;
+  bool to_file_ = false;
+  bool row_open_ = false;
+};
+
+/// Parsed CSV contents: a header row plus data rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index for `name`; -1 if absent.
+  int column(std::string_view name) const;
+  /// Numeric cell (0.0 on parse failure or out-of-range access).
+  double number(std::size_t row, int col) const;
+};
+
+/// Reads a CSV file written by CsvWriter (handles quoted fields). Throws
+/// std::runtime_error if the file cannot be opened.
+CsvTable read_csv(const std::string& path);
+
+/// Parses CSV text (same dialect).
+CsvTable parse_csv(std::string_view text);
+
+}  // namespace pcap::util

@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace pcap::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+void init_from_env() {
+  if (const char* env = std::getenv("PCAP_LOG")) {
+    g_level.store(parse_log_level(env), std::memory_order_relaxed);
+  }
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[pcap %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace pcap::util

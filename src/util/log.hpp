@@ -1,0 +1,49 @@
+// Tiny leveled logger. Off by default so benches print clean tables;
+// set PCAP_LOG=debug|info|warn|error (or call set_level) to enable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pcap::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings -> kOff.
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// RAII line logger: LogLine(kInfo) << "x=" << x; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
+  ~LogLine() {
+    if (enabled_) detail::emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace pcap::util
+
+#define PCAP_LOG_DEBUG ::pcap::util::LogLine(::pcap::util::LogLevel::kDebug)
+#define PCAP_LOG_INFO ::pcap::util::LogLine(::pcap::util::LogLevel::kInfo)
+#define PCAP_LOG_WARN ::pcap::util::LogLine(::pcap::util::LogLevel::kWarn)
+#define PCAP_LOG_ERROR ::pcap::util::LogLine(::pcap::util::LogLevel::kError)

@@ -1,0 +1,18 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pcap::util {
+
+double Rng::gaussian() {
+  // Box-Muller; discard the second variate to keep the stream position a
+  // simple function of call count.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace pcap::util

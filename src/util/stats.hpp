@@ -1,0 +1,69 @@
+// Streaming and batch summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace pcap::util {
+
+/// Welford's online mean/variance plus min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+/// Percentage difference of `value` relative to `base`, as in the paper's
+/// "% Diff" columns. Returns 0 when base == 0.
+double percent_diff(double value, double base);
+
+/// Geometric mean of strictly positive samples (0 for empty input).
+double geomean(std::span<const double> xs);
+
+}  // namespace pcap::util

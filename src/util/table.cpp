@@ -1,0 +1,100 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pcap::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return s.find_first_not_of("0123456789+-.,:%eE ") == std::string::npos;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back({{}, true}); }
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto emit_sep = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells, bool force_left) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      const std::size_t pad = widths[i] - cell.size();
+      const bool right = !force_left && looks_numeric(cell);
+      os << ' ';
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_sep();
+  emit_row(header_, true);
+  emit_sep();
+  for (const auto& row : rows_) {
+    if (row.separator) emit_sep();
+    else emit_row(row.cells, false);
+  }
+  emit_sep();
+}
+
+std::string TextTable::str() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+std::string TextTable::num(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string TextTable::grouped(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) grouped += ',';
+    grouped += *it;
+    ++count;
+  }
+  std::reverse(grouped.begin(), grouped.end());
+  return grouped;
+}
+
+std::string TextTable::pct(double v) {
+  return std::to_string(static_cast<long long>(std::llround(v)));
+}
+
+}  // namespace pcap::util

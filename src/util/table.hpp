@@ -1,0 +1,43 @@
+// Fixed-width text tables for paper-style console output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pcap::util {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+/// Numeric-looking cells are right-aligned, text is left-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void render(std::ostream& os) const;
+  std::string str() const;
+
+  /// Formatting helpers shared by the benches.
+  static std::string num(double v, int decimals = 1);
+  static std::string num(std::uint64_t v);
+  /// Integer with thousands separators, paper-style ("1,664,150,370").
+  static std::string grouped(std::uint64_t v);
+  static std::string pct(double v);  // rounded to closest int, as the paper
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pcap::util

@@ -1,0 +1,54 @@
+// Minimal fixed-size thread pool plus a blocking parallel_for.
+//
+// The simulator core is single-threaded and deterministic; the pool exists so
+// the experiment harness can run *independent* experiment cells (each owning
+// its own Node) concurrently. Per CP.23/CP.24, threads are joined in the
+// destructor and no detached threads are created.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pcap::util {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; it may run on any worker thread.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n). With threads <= 1 the calls happen inline on
+/// the calling thread (deterministic order); otherwise they are distributed
+/// over a temporary pool. fn must be safe to call concurrently.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace pcap::util

@@ -1,0 +1,51 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace pcap::util {
+
+std::string format_duration(Picoseconds t) {
+  const std::uint64_t total_ms = t / kPicosPerMilli;
+  const std::uint64_t ms = total_ms % 1000;
+  const std::uint64_t total_s = total_ms / 1000;
+  const std::uint64_t s = total_s % 60;
+  const std::uint64_t m = (total_s / 60) % 60;
+  const std::uint64_t h = total_s / 3600;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%llu:%02llu:%02llu.%03llu",
+                static_cast<unsigned long long>(h),
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(ms));
+  return buf;
+}
+
+std::string format_hertz(Hertz f) {
+  char buf[32];
+  if (f >= kGigaHertz) {
+    std::snprintf(buf, sizeof buf, "%.2f GHz",
+                  static_cast<double>(f) / static_cast<double>(kGigaHertz));
+  } else if (f >= kMegaHertz) {
+    std::snprintf(buf, sizeof buf, "%llu MHz",
+                  static_cast<unsigned long long>(f / kMegaHertz));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu Hz", static_cast<unsigned long long>(f));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 30) && bytes % (1ull << 30) == 0) {
+    std::snprintf(buf, sizeof buf, "%lluG", static_cast<unsigned long long>(bytes >> 30));
+  } else if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+    std::snprintf(buf, sizeof buf, "%lluM", static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0) {
+    std::snprintf(buf, sizeof buf, "%lluK", static_cast<unsigned long long>(bytes >> 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace pcap::util

@@ -1,0 +1,75 @@
+// Units and fixed-point simulated time for the pcap simulator.
+//
+// Simulated time is kept as an integer count of picoseconds so that cycle
+// arithmetic at GHz frequencies stays exact; power and energy are doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcap::util {
+
+/// Simulated time, in integer picoseconds. 2^64 ps ~= 213 days: plenty.
+using Picoseconds = std::uint64_t;
+
+/// Clock frequency in Hz.
+using Hertz = std::uint64_t;
+
+inline constexpr Picoseconds kPicosPerNano = 1000;
+inline constexpr Picoseconds kPicosPerMicro = 1000 * kPicosPerNano;
+inline constexpr Picoseconds kPicosPerMilli = 1000 * kPicosPerMicro;
+inline constexpr Picoseconds kPicosPerSecond = 1000 * kPicosPerMilli;
+
+inline constexpr Hertz kKiloHertz = 1000;
+inline constexpr Hertz kMegaHertz = 1000 * kKiloHertz;
+inline constexpr Hertz kGigaHertz = 1000 * kMegaHertz;
+
+constexpr Picoseconds nanoseconds(double ns) {
+  return static_cast<Picoseconds>(ns * static_cast<double>(kPicosPerNano));
+}
+constexpr Picoseconds microseconds(double us) {
+  return static_cast<Picoseconds>(us * static_cast<double>(kPicosPerMicro));
+}
+constexpr Picoseconds milliseconds(double ms) {
+  return static_cast<Picoseconds>(ms * static_cast<double>(kPicosPerMilli));
+}
+constexpr Picoseconds seconds(double s) {
+  return static_cast<Picoseconds>(s * static_cast<double>(kPicosPerSecond));
+}
+
+constexpr double to_seconds(Picoseconds t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerSecond);
+}
+constexpr double to_nanoseconds(Picoseconds t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerNano);
+}
+
+/// Duration of one clock cycle at frequency `f`, rounded to nearest ps.
+constexpr Picoseconds cycle_period(Hertz f) {
+  return (kPicosPerSecond + f / 2) / f;
+}
+
+/// Number of whole cycles of frequency `f` that fit in `t`.
+constexpr std::uint64_t cycles_in(Picoseconds t, Hertz f) {
+  // cycles = t * f / 1e12, computed without overflow for f < ~18 GHz by
+  // splitting t into seconds and sub-second remainder.
+  const std::uint64_t whole_s = t / kPicosPerSecond;
+  const std::uint64_t rem_ps = t % kPicosPerSecond;
+  return whole_s * f + (rem_ps * (f / kMegaHertz)) / (kPicosPerSecond / kMegaHertz);
+}
+
+/// Elapsed time for `cycles` cycles at frequency `f`.
+constexpr Picoseconds cycles_to_time(std::uint64_t cycles, Hertz f) {
+  return cycles * cycle_period(f);
+}
+
+/// Pretty "h:mm:ss.mmm" rendering of a simulated duration.
+std::string format_duration(Picoseconds t);
+
+/// Pretty "2.70 GHz" / "1200 MHz" rendering.
+std::string format_hertz(Hertz f);
+
+/// Pretty byte-size rendering ("32K", "20M", "64B").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace pcap::util

@@ -1,0 +1,74 @@
+// Tests for the shape-agreement scorer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+#include "harness/agreement.hpp"
+
+namespace pcap::harness {
+namespace {
+
+TEST(Agreement, PearsonBasics) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> up{2, 4, 6, 8};
+  const std::vector<double> down{8, 6, 4, 2};
+  const std::vector<double> flat{5, 5, 5, 5};
+  EXPECT_NEAR(pearson(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Agreement, SignedLog) {
+  EXPECT_DOUBLE_EQ(signed_log(0.0), 0.0);
+  EXPECT_NEAR(signed_log(100.0), std::log1p(100.0), 1e-12);
+  EXPECT_NEAR(signed_log(-20.0), -std::log1p(20.0), 1e-12);
+}
+
+StudyResult synthetic_study(double time_scale) {
+  StudyResult study;
+  study.workload = "synthetic";
+  study.baseline.time_s = 1.0;
+  study.baseline.avg_power_w = 153.0;
+  study.baseline.energy_j = 153.0;
+  for (const PaperRow& row : paper_stereo_rows()) {
+    if (!row.cap_w) continue;
+    CellStats cell;
+    cell.cap_w = row.cap_w;
+    cell.time_s = 1.0 + time_scale * row.pct_time / 100.0;
+    cell.avg_power_w = 153.0 * (1.0 + row.pct_power / 100.0);
+    cell.energy_j = 153.0 * (1.0 + row.pct_energy / 100.0);
+    study.capped.push_back(cell);
+  }
+  return study;
+}
+
+TEST(Agreement, PerfectCloneScoresOne) {
+  const ShapeAgreement fit =
+      shape_agreement(synthetic_study(1.0), paper_stereo_rows());
+  EXPECT_EQ(fit.caps_compared, 9);
+  EXPECT_NEAR(fit.time, 1.0, 1e-9);
+  EXPECT_NEAR(fit.power, 1.0, 1e-9);
+  EXPECT_NEAR(fit.energy, 1.0, 1e-9);
+  EXPECT_NEAR(fit.overall, 1.0, 1e-9);
+}
+
+TEST(Agreement, ScaledCloneStillCorrelatesHighly) {
+  // Halving every slowdown changes magnitudes, not ordering/shape.
+  const ShapeAgreement fit =
+      shape_agreement(synthetic_study(0.5), paper_stereo_rows());
+  EXPECT_GT(fit.time, 0.98);
+}
+
+TEST(Agreement, SkipsCapsAbsentFromReference) {
+  StudyResult study = synthetic_study(1.0);
+  CellStats odd;
+  odd.cap_w = 147.0;  // not a paper cap
+  odd.time_s = 1.0;
+  study.capped.push_back(odd);
+  const ShapeAgreement fit = shape_agreement(study, paper_stereo_rows());
+  EXPECT_EQ(fit.caps_compared, 9);
+}
+
+}  // namespace
+}  // namespace pcap::harness

@@ -1,0 +1,99 @@
+// Tests for the amenability analyzer (the paper's §V future-work
+// methodology, implemented in core).
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "core/amenability.hpp"
+#include "core/capped_runner.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+
+namespace pcap::core {
+namespace {
+
+AmenabilityReport analyze(sim::Workload& workload,
+                          std::initializer_list<double> caps,
+                          double tolerance = 1.25) {
+  sim::Node node(sim::MachineConfig::romley());
+  CappedRunner runner(node);
+  AmenabilityOptions options;
+  options.slowdown_tolerance = tolerance;
+  AmenabilityAnalyzer analyzer(options);
+  const std::vector<double> grid(caps);
+  return analyzer.analyze(runner, workload, grid);
+}
+
+TEST(Amenability, BaselineAndPointsPopulated) {
+  apps::ComputeBoundWorkload work(800000);
+  const AmenabilityReport report = analyze(work, {150.0, 135.0, 125.0});
+  EXPECT_GT(report.baseline_power_w, 130.0);
+  EXPECT_GT(report.baseline_time, 0u);
+  EXPECT_GT(report.baseline_energy_j, 0.0);
+  ASSERT_EQ(report.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.points[0].cap_w, 150.0);
+}
+
+TEST(Amenability, SlowdownGrowsAsCapDrops) {
+  // Long enough that the controller's descent transient is amortised.
+  apps::ComputeBoundWorkload work(6000000);
+  const AmenabilityReport report =
+      analyze(work, {150.0, 140.0, 130.0, 122.0});
+  double last = 0.99;
+  for (const auto& p : report.points) {
+    EXPECT_GE(p.slowdown, last * 0.98) << "cap " << p.cap_w;
+    last = p.slowdown;
+  }
+  EXPECT_GT(report.points.back().slowdown, 2.0);
+}
+
+TEST(Amenability, UsableFloorHonoursTolerance) {
+  apps::ComputeBoundWorkload work(800000);
+  const AmenabilityReport report =
+      analyze(work, {150.0, 140.0, 130.0, 122.0}, /*tolerance=*/1.25);
+  ASSERT_GT(report.usable_cap_floor_w, 0.0);
+  // The floor cap itself must satisfy the tolerance...
+  for (const auto& p : report.points) {
+    if (p.cap_w == report.usable_cap_floor_w) {
+      EXPECT_LE(p.slowdown, 1.25);
+    }
+    // ...and no admissible cap below it exists.
+    if (p.cap_w < report.usable_cap_floor_w) {
+      EXPECT_GT(p.slowdown, 1.25);
+    }
+  }
+}
+
+TEST(Amenability, DetectsMissedCaps) {
+  apps::ComputeBoundWorkload work(600000);
+  const AmenabilityReport report = analyze(work, {150.0, 112.0});
+  EXPECT_TRUE(report.points[0].cap_met);
+  EXPECT_FALSE(report.points[1].cap_met);  // below the throttling floor
+}
+
+TEST(Amenability, EnergyRatioTracksSlowdownDirection) {
+  apps::ComputeBoundWorkload work(800000);
+  const AmenabilityReport report = analyze(work, {130.0});
+  EXPECT_GT(report.points[0].energy_ratio, 1.0);
+  EXPECT_LT(report.points[0].energy_ratio, report.points[0].slowdown);
+}
+
+TEST(Amenability, RanksMemoryBoundAsMoreAmenable) {
+  // The paper's central asymmetry: a memory-latency-bound code tolerates
+  // capping better than a compute-bound one (DVFS hurts it less).
+  apps::MemoryBoundWorkload streaming(48ull << 20, 250000);
+  apps::ComputeBoundWorkload compute(2500000);
+  const AmenabilityReport mem_report = analyze(streaming, {145.0, 135.0});
+  const AmenabilityReport cpu_report = analyze(compute, {145.0, 135.0});
+  EXPECT_LT(mem_report.sensitivity_index, cpu_report.sensitivity_index);
+}
+
+TEST(Amenability, EmptyGridYieldsEmptyReport) {
+  apps::ComputeBoundWorkload work(200000);
+  const AmenabilityReport report = analyze(work, {});
+  EXPECT_TRUE(report.points.empty());
+  EXPECT_EQ(report.usable_cap_floor_w, 0.0);
+  EXPECT_EQ(report.sensitivity_index, 0.0);
+}
+
+}  // namespace
+}  // namespace pcap::core

@@ -1,0 +1,233 @@
+// Tests for the SIRE/RSM application: radar forward model, backprojection
+// correctness (point targets reconstruct at the right pixels), RSM noise
+// suppression, and workload determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/machine.hpp"
+#include "apps/sar/backprojection.hpp"
+#include "apps/sar/radar.hpp"
+#include "apps/sar/rsm.hpp"
+#include "apps/sar/scene.hpp"
+#include "apps/sar/workload.hpp"
+#include "sim/node.hpp"
+
+namespace pcap::apps::sar {
+namespace {
+
+TEST(Scene, DeterministicAndInBounds) {
+  SceneConfig config;
+  const auto a = make_scene(config);
+  const auto b = make_scene(config);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(config.targets));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x_m, b[i].x_m);
+    EXPECT_LE(std::fabs(a[i].x_m), config.extent_x_m / 2);
+    EXPECT_GE(a[i].y_m, config.near_y_m);
+    EXPECT_LE(a[i].y_m, config.far_y_m);
+    EXPECT_GT(a[i].reflectivity, 0.0);
+  }
+}
+
+TEST(Radar, RickerShape) {
+  EXPECT_DOUBLE_EQ(ricker(0.0, 3.0), 1.0);          // peak at center
+  EXPECT_LT(ricker(3.0, 3.0), 0.0);                 // negative lobe
+  EXPECT_NEAR(ricker(12.0, 3.0), 0.0, 1e-4);        // decays
+  EXPECT_DOUBLE_EQ(ricker(1.5, 3.0), ricker(-1.5, 3.0));  // symmetric
+}
+
+TEST(Radar, ReturnPeaksAtTargetRange) {
+  SceneConfig scene_cfg;
+  RadarConfig radar_cfg;
+  radar_cfg.noise_sigma = 0.0;
+  radar_cfg.apertures = 3;
+  const std::vector<PointTarget> scene = {{0.0, 15.0, 1.0}};
+  const RadarData data = simulate_returns(scene, radar_cfg);
+
+  // Middle aperture sits at x = 0: range is exactly 15 m.
+  const int a = 1;
+  EXPECT_NEAR(data.aperture_x_m[a], 0.0, 1e-9);
+  const int expected_bin = static_cast<int>(
+      (15.0 - radar_cfg.range0_m) / radar_cfg.range_step_m + 0.5);
+  // Find the strongest bin.
+  int best_bin = 0;
+  float best = -1e9f;
+  for (int b = 0; b < data.samples(); ++b) {
+    if (data.sample(a, b) > best) {
+      best = data.sample(a, b);
+      best_bin = b;
+    }
+  }
+  EXPECT_NEAR(best_bin, expected_bin, 1);
+  EXPECT_GT(best, 0.1f);
+}
+
+TEST(Radar, AmplitudeFallsWithRange) {
+  RadarConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.apertures = 1;
+  cfg.track_length_m = 0.0;
+  const RadarData near_data = simulate_returns({{0.0, 10.0, 1.0}}, cfg);
+  const RadarData far_data = simulate_returns({{0.0, 25.0, 1.0}}, cfg);
+  auto peak = [](const RadarData& d) {
+    float best = 0;
+    for (int b = 0; b < d.samples(); ++b) best = std::max(best, d.sample(0, b));
+    return best;
+  };
+  EXPECT_GT(peak(near_data), peak(far_data) * 1.5f);
+}
+
+TEST(Backprojection, PointTargetFocusesAtTruePixel) {
+  SceneConfig scene_cfg;
+  scene_cfg.targets = 1;
+  RadarConfig radar_cfg;
+  radar_cfg.noise_sigma = 0.0;
+  const std::vector<PointTarget> scene = {{3.0, 17.0, 1.0}};
+  const RadarData data = simulate_returns(scene, radar_cfg);
+
+  const ImageGrid grid = ImageGrid::cover(scene_cfg, 160, 100);
+  std::vector<float> image(grid.pixels(), 0.0f);
+  std::vector<int> all(static_cast<std::size_t>(data.apertures()));
+  for (int a = 0; a < data.apertures(); ++a) all[static_cast<std::size_t>(a)] = a;
+  HostMachine m;
+  backproject(m, data, all, grid, image, 0, 0);
+
+  // Locate the image peak.
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    if (std::fabs(image[i]) > std::fabs(image[best])) best = i;
+  }
+  const int px = static_cast<int>(best) % grid.width;
+  const int py = static_cast<int>(best) / grid.width;
+  EXPECT_NEAR(grid.x_of(px), 3.0, 2.5 * grid.dx_m);
+  EXPECT_NEAR(grid.y_of(py), 17.0, 2.5 * grid.dy_m);
+}
+
+TEST(Backprojection, UpsampleInterpolatesMagnitude) {
+  const std::vector<float> coarse = {1.0f, -3.0f, 2.0f, 4.0f};  // 2x2
+  std::vector<float> full(16, 0.0f);
+  HostMachine m;
+  upsample_magnitude(m, coarse, 2, 2, 2, full, 0, 0);
+  EXPECT_FLOAT_EQ(full[0], 1.0f);        // node value, magnitude
+  EXPECT_FLOAT_EQ(full[1], 1.0f);        // halfway between 1 and -3: |-1|
+  EXPECT_GT(full[15], 0.0f);
+  for (float v : full) EXPECT_GE(v, 0.0f);  // magnitudes
+}
+
+TEST(Backprojection, MinCombineTakesElementwiseMin) {
+  std::vector<float> running = {5.0f, 1.0f, 3.0f};
+  const std::vector<float> candidate = {4.0f, 2.0f, 3.0f};
+  HostMachine m;
+  min_combine(m, running, candidate, 0, 0);
+  EXPECT_EQ(running, (std::vector<float>{4.0f, 1.0f, 3.0f}));
+}
+
+class SirePipelineTest : public ::testing::Test {
+ protected:
+  static SireParams params() {
+    SireParams p = SireParams::quick();
+    p.scene.targets = 3;
+    return p;
+  }
+};
+
+TEST_F(SirePipelineTest, RsmSuppressesBackgroundNoise) {
+  const SireParams p = params();
+  const RadarData data = simulate_returns(make_scene(p.scene), p.radar);
+  const SireResult result = run_sire_pipeline_host(data, p);
+
+  // Mask out neighbourhoods of true targets; compare background energy.
+  const auto scene = make_scene(p.scene);
+  const ImageGrid grid = ImageGrid::cover(p.scene, result.width, result.height);
+  double base_bg = 0.0, rsm_bg = 0.0;
+  std::size_t count = 0;
+  for (int py = 0; py < result.height; ++py) {
+    for (int px = 0; px < result.width; ++px) {
+      bool near_target = false;
+      for (const auto& t : scene) {
+        if (std::fabs(grid.x_of(px) - t.x_m) < 1.5 &&
+            std::fabs(grid.y_of(py) - t.y_m) < 1.5) {
+          near_target = true;
+        }
+      }
+      if (near_target) continue;
+      const std::size_t i =
+          static_cast<std::size_t>(py) * result.width + px;
+      base_bg += result.base_image[i];
+      rsm_bg += result.rsm_image[i];
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0u);
+  // RSM (min over aperture subsets) must reduce background sidelobe energy.
+  EXPECT_LT(rsm_bg, base_bg * 0.9);
+}
+
+TEST_F(SirePipelineTest, TargetsSurviveRsm) {
+  const SireParams p = params();
+  const auto scene = make_scene(p.scene);
+  const RadarData data = simulate_returns(scene, p.radar);
+  const SireResult result = run_sire_pipeline_host(data, p);
+  const ImageGrid grid = ImageGrid::cover(p.scene, result.width, result.height);
+
+  // Background statistics.
+  double bg_mean = 0.0;
+  for (float v : result.rsm_image) bg_mean += v;
+  bg_mean /= static_cast<double>(result.rsm_image.size());
+
+  // Each target pixel should stand well above the mean background. The
+  // grid here is full resolution, so target coordinates map directly.
+  for (const auto& t : scene) {
+    const int px = static_cast<int>((t.x_m - grid.x0_m) / grid.dx_m + 0.5);
+    const int py = static_cast<int>((t.y_m - grid.y0_m) / grid.dy_m + 0.5);
+    float peak = 0.0f;
+    const int r = 2 * p.upsample_factor;
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        const int x = px + dx, y = py + dy;
+        if (x < 0 || x >= result.width || y < 0 || y >= result.height) continue;
+        peak = std::max(peak, result.at(x, y));
+      }
+    }
+    EXPECT_GT(peak, 3.0 * bg_mean) << "target at " << t.x_m << "," << t.y_m;
+  }
+}
+
+TEST_F(SirePipelineTest, PipelineDeterministic) {
+  const SireParams p = params();
+  const RadarData data = simulate_returns(make_scene(p.scene), p.radar);
+  const SireResult a = run_sire_pipeline_host(data, p);
+  const SireResult b = run_sire_pipeline_host(data, p);
+  EXPECT_EQ(a.rsm_image, b.rsm_image);
+}
+
+TEST_F(SirePipelineTest, SimulatedRunMatchesHostResult) {
+  // Narration must not change the arithmetic: the image computed while
+  // running on the simulator equals the host-only result.
+  SireWorkload workload(params());
+  sim::Node node(sim::MachineConfig::romley());
+  node.run(workload);
+  const SireResult host =
+      run_sire_pipeline_host(workload.data(), workload.params());
+  EXPECT_EQ(workload.last_result().rsm_image, host.rsm_image);
+}
+
+TEST_F(SirePipelineTest, WorkloadIssuesIdenticalStreamsAcrossRuns) {
+  SireWorkload workload(params());
+  sim::Node node(sim::MachineConfig::romley());
+  const sim::RunReport a = node.run(workload);
+  const sim::RunReport b = node.run(workload);
+  EXPECT_EQ(a.counter(pmu::Event::kTotIns), b.counter(pmu::Event::kTotIns));
+  EXPECT_EQ(a.counter(pmu::Event::kLdIns), b.counter(pmu::Event::kLdIns));
+}
+
+TEST(SireParamsTest, PaperImageExceedsL3) {
+  const SireParams p = SireParams::paper();
+  const std::uint64_t buffer_bytes =
+      static_cast<std::uint64_t>(p.full_width()) * p.full_height() * 4;
+  EXPECT_GT(buffer_bytes, 20ull * 1024 * 1024);  // larger than any cache
+}
+
+}  // namespace
+}  // namespace pcap::apps::sar

@@ -1,0 +1,209 @@
+// Tests for the stereo-matching application: wedding-cake scene synthesis,
+// cost-volume correctness, and the simulated-annealing matcher's convergence
+// and accuracy against ground truth.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/machine.hpp"
+#include "apps/stereo/annealing.hpp"
+#include "apps/stereo/cost_volume.hpp"
+#include "apps/stereo/scene.hpp"
+#include "apps/stereo/workload.hpp"
+#include "sim/node.hpp"
+
+namespace pcap::apps::stereo {
+namespace {
+
+StereoSceneConfig small_scene() {
+  StereoSceneConfig c;
+  c.width = 96;
+  c.height = 64;
+  c.max_disparity = 12;
+  c.layer_disparity_step = 3;
+  return c;
+}
+
+TEST(Scene, WeddingCakeHasFourDisparityLevels) {
+  const StereoPair pair = make_wedding_cake(small_scene());
+  std::set<std::uint8_t> levels(pair.truth.begin(), pair.truth.end());
+  EXPECT_EQ(levels.size(), 4u);  // background + 3 layers
+  EXPECT_EQ(*levels.begin(), 2u);  // background disparity
+  for (auto d : levels) EXPECT_LT(d, pair.max_disparity);
+}
+
+TEST(Scene, LayersAreNested) {
+  const StereoSceneConfig config = small_scene();
+  const StereoPair pair = make_wedding_cake(config);
+  // The centre pixel carries the top (largest) disparity; the corner the
+  // background.
+  const auto center =
+      pair.truth[static_cast<std::size_t>(config.height / 2) * config.width +
+                 config.width / 2];
+  EXPECT_EQ(center, 2 + 3 * config.layer_disparity_step);
+  EXPECT_EQ(pair.truth[0], config.background_disparity);
+}
+
+TEST(Scene, RightImageIsWarpOfLeft) {
+  const StereoPair pair = make_wedding_cake(small_scene());
+  // For non-occluded pixels, right(x - d, y) == left(x, y). Check a sample
+  // row in the background (no occlusion there away from layer edges).
+  int matches = 0, checked = 0;
+  const int y = 2;  // background row
+  for (int x = 40; x < 90; ++x) {
+    const std::size_t i = static_cast<std::size_t>(y) * pair.width + x;
+    const int d = pair.truth[i];
+    if (x - d < 0) continue;
+    ++checked;
+    const std::size_t j = static_cast<std::size_t>(y) * pair.width + (x - d);
+    if (pair.right[j] == pair.left[i]) ++matches;
+  }
+  ASSERT_GT(checked, 0);
+  EXPECT_GE(matches, checked * 9 / 10);
+}
+
+TEST(Scene, DeterministicForSeed) {
+  const StereoPair a = make_wedding_cake(small_scene());
+  const StereoPair b = make_wedding_cake(small_scene());
+  EXPECT_EQ(a.left, b.left);
+  EXPECT_EQ(a.truth, b.truth);
+}
+
+class CostVolumeTest : public ::testing::Test {
+ protected:
+  CostVolumeTest() : pair_(make_wedding_cake(small_scene())) {
+    HostMachine m;
+    vol_ = build_cost_volume(m, pair_, 5, 0, 0, 0);
+  }
+  StereoPair pair_;
+  CostVolume vol_;
+};
+
+TEST_F(CostVolumeTest, DimensionsAndLayout) {
+  EXPECT_EQ(vol_.width, pair_.width);
+  EXPECT_EQ(vol_.height, pair_.height);
+  EXPECT_EQ(vol_.disparities, pair_.max_disparity);
+  EXPECT_EQ(vol_.cost.size(),
+            pair_.pixels() * static_cast<std::size_t>(pair_.max_disparity));
+  // Pixel-major: all disparities of one pixel are contiguous.
+  EXPECT_EQ(vol_.index(3, 0, 0) + 1, vol_.index(3, 0, 1));
+}
+
+TEST_F(CostVolumeTest, TruthDisparityIsCheapest) {
+  // For most interior non-occluded pixels, the matching cost at the true
+  // disparity should be the (near-)minimum across the search range.
+  int wins = 0, checked = 0;
+  for (int y = 8; y < vol_.height - 8; y += 3) {
+    for (int x = 20; x < vol_.width - 8; x += 3) {
+      const std::size_t i = static_cast<std::size_t>(y) * vol_.width + x;
+      const int truth = pair_.truth[i];
+      std::uint16_t best = 65535;
+      int best_d = -1;
+      for (int d = 0; d < vol_.disparities; ++d) {
+        if (vol_.at(x, y, d) < best) {
+          best = vol_.at(x, y, d);
+          best_d = d;
+        }
+      }
+      ++checked;
+      if (std::abs(best_d - truth) <= 1) ++wins;
+    }
+  }
+  ASSERT_GT(checked, 100);
+  EXPECT_GT(static_cast<double>(wins) / checked, 0.75);
+}
+
+TEST_F(CostVolumeTest, OutOfViewDisparityPenalised) {
+  // x < d means the right-image pixel is out of view: large cost.
+  EXPECT_GT(vol_.at(1, 10, 8), vol_.at(40, 10, pair_.truth[static_cast<std::size_t>(10) * vol_.width + 40]));
+}
+
+TEST(Annealing, WtaInitIsReasonable) {
+  const StereoPair pair = make_wedding_cake(small_scene());
+  HostMachine m;
+  const CostVolume vol = build_cost_volume(m, pair, 5, 0, 0, 0);
+  const auto wta = wta_init(m, vol, 0);
+  EXPECT_GT(disparity_accuracy(wta, pair.truth, 1), 0.6);
+}
+
+class AnnealTest : public ::testing::Test {
+ protected:
+  AnnealTest() : pair_(make_wedding_cake(small_scene())) {
+    HostMachine m;
+    vol_ = build_cost_volume(m, pair_, 5, 0, 0, 0);
+    result_ = anneal_disparity(m, vol_, AnnealParams::quick(), 0, 0);
+  }
+  StereoPair pair_;
+  CostVolume vol_;
+  AnnealResult result_;
+};
+
+TEST_F(AnnealTest, EnergyDecreasesOverall) {
+  ASSERT_GE(result_.energy_trace.size(), 2u);
+  EXPECT_LT(result_.energy_trace.back(), result_.energy_trace.front());
+  EXPECT_DOUBLE_EQ(result_.final_energy, result_.energy_trace.back());
+}
+
+TEST_F(AnnealTest, FinalEnergyBeatsWta) {
+  HostMachine m;
+  const auto wta = wta_init(m, vol_, 0);
+  const double wta_energy =
+      disparity_energy(vol_, wta, AnnealParams::quick().lambda);
+  EXPECT_LT(result_.final_energy, wta_energy);
+}
+
+TEST_F(AnnealTest, RecoversWeddingCake) {
+  const double accuracy = disparity_accuracy(result_.disparity, pair_.truth, 1);
+  EXPECT_GT(accuracy, 0.80);
+}
+
+TEST_F(AnnealTest, ProposalsAndAcceptancesCounted) {
+  EXPECT_GT(result_.proposals, 0u);
+  EXPECT_GT(result_.accepted, 0u);
+  EXPECT_LE(result_.accepted, result_.proposals);
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const StereoPair pair = make_wedding_cake(small_scene());
+  HostMachine m;
+  const CostVolume vol = build_cost_volume(m, pair, 5, 0, 0, 0);
+  const AnnealResult a = anneal_disparity(m, vol, AnnealParams::quick(), 0, 0);
+  const AnnealResult b = anneal_disparity(m, vol, AnnealParams::quick(), 0, 0);
+  EXPECT_EQ(a.disparity, b.disparity);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+TEST(Annealing, AccuracyHelper) {
+  const std::vector<std::uint8_t> truth = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> close = {1, 3, 3, 6};
+  EXPECT_DOUBLE_EQ(disparity_accuracy(close, truth, 1), 0.75);
+  EXPECT_DOUBLE_EQ(disparity_accuracy(close, truth, 2), 1.0);
+  EXPECT_EQ(disparity_accuracy({}, truth, 1), 0.0);
+}
+
+TEST(StereoWorkloadTest, SimulatedRunMatchesHostResult) {
+  const StereoParams params = StereoParams::quick();
+  StereoWorkload workload(params);
+  sim::Node node(sim::MachineConfig::romley());
+  node.run(workload);
+
+  HostMachine m;
+  const StereoPair pair = make_wedding_cake(params.scene);
+  const CostVolume vol = build_cost_volume(m, pair, params.window, 0, 0, 0);
+  const AnnealResult host = anneal_disparity(m, vol, params.anneal, 0, 0);
+  EXPECT_EQ(workload.last_result().disparity, host.disparity);
+}
+
+TEST(StereoWorkloadTest, PaperVolumeIsL3ResidentButBeyondL2) {
+  const StereoParams p = StereoParams::paper();
+  const StereoPair pair = make_wedding_cake(p.scene);
+  HostMachine m;
+  const std::uint64_t volume_bytes =
+      pair.pixels() * static_cast<std::uint64_t>(pair.max_disparity) * 2;
+  EXPECT_GT(volume_bytes, 2ull * 1024 * 1024);    // far beyond L2
+  EXPECT_LT(volume_bytes, 20ull * 1024 * 1024);   // resident in the L3
+  EXPECT_GT(volume_bytes, 4ull * 1024 * 1024);    // NOT resident when gated
+}
+
+}  // namespace
+}  // namespace pcap::apps::stereo

@@ -1,0 +1,148 @@
+// Tests for the stride microbenchmark: the uncapped surface must expose the
+// configured hierarchy (sizes, latencies, line size), as the paper reads
+// from its Figure 3.
+#include <gtest/gtest.h>
+
+#include "apps/stride/stride.hpp"
+#include "core/capped_runner.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "util/units.hpp"
+
+namespace pcap::apps::stride {
+namespace {
+
+class StrideSurface : public ::testing::Test {
+ protected:
+  // Two runs merged: a coarse-stride sweep over the full size range (cheap
+  // but covers every capacity knee at line stride) plus a fine-stride sweep
+  // over a small range (line-size detection, amortisation behaviour).
+  static const StrideResults& results() {
+    static const StrideResults cached = [] {
+      StrideConfig coarse;
+      coarse.max_array_bytes = 64ull * 1024 * 1024;
+      coarse.min_stride_bytes = 64;
+      coarse.touches_per_cell = 2000;
+
+      StrideConfig fine;
+      fine.max_array_bytes = 1024 * 1024;
+      fine.min_stride_bytes = 8;
+      fine.touches_per_cell = 2000;
+
+      sim::Node node(sim::MachineConfig::romley());
+      node.set_os_noise(false);
+      StrideWorkload coarse_run(coarse);
+      node.run(coarse_run);
+      StrideWorkload fine_run(fine);
+      node.run(fine_run);
+
+      StrideResults merged = coarse_run.results();
+      for (const auto& cell : fine_run.results().cells) {
+        if (merged.ns(cell.array_bytes, cell.stride_bytes) < 0.0) {
+          merged.cells.push_back(cell);
+        }
+      }
+      return merged;
+    }();
+    return cached;
+  }
+};
+
+TEST_F(StrideSurface, GridCoversConfiguredRanges) {
+  const auto sizes = results().array_sizes();
+  EXPECT_EQ(sizes.front(), 4u * 1024);
+  EXPECT_EQ(sizes.back(), 64ull * 1024 * 1024);
+  const auto strides = results().strides();
+  EXPECT_EQ(strides.front(), 8u);
+  // Strides go up to half the largest array.
+  EXPECT_EQ(strides.back(), 32ull * 1024 * 1024);
+  EXPECT_EQ(results().ns(123, 456), -1.0);  // absent cell
+}
+
+TEST(StrideConfigTest, QuickAndPaperPresets) {
+  EXPECT_LT(StrideConfig::quick().max_array_bytes,
+            StrideConfig::paper().max_array_bytes);
+  EXPECT_EQ(StrideConfig::paper().max_array_bytes, 64ull * 1024 * 1024);
+}
+
+TEST_F(StrideSurface, L1ResidentArrayIsFast) {
+  // 4K array at line stride: pure L1 hits. L1 is 4 cycles at 2.701 GHz
+  // (~1.48 ns) plus the loop's compute charge.
+  const double ns = results().ns(4 * 1024, 64);
+  EXPECT_GT(ns, 1.0);
+  EXPECT_LT(ns, 2.5);  // paper reads ~1.5 ns
+}
+
+TEST_F(StrideSurface, PlateausAreOrdered) {
+  // Latency at line stride must rise strictly across level boundaries.
+  const double l1 = results().ns(16 * 1024, 64);        // fits L1
+  const double l2 = results().ns(128 * 1024, 64);       // fits L2 only
+  const double l3 = results().ns(8 * 1024 * 1024, 64);  // fits L3 only
+  const double mem = results().ns(64 * 1024 * 1024, 64);
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, l3);
+  EXPECT_LT(l3, mem);
+  EXPECT_GT(mem, 20.0);  // DRAM-bound (paper: ~60 ns per access)
+}
+
+TEST_F(StrideSurface, InferenceRecoversMachineGeometry) {
+  const HierarchyInference inf = infer_hierarchy(results());
+  EXPECT_EQ(inf.l1_fits_bytes, 32u * 1024);   // "between 32K and 64K"
+  EXPECT_EQ(inf.l2_fits_bytes, 256u * 1024);  // "between 256K and 512K"
+  EXPECT_EQ(inf.l3_fits_bytes, 16ull * 1024 * 1024);  // "between 16M and 32M"
+  EXPECT_EQ(inf.line_bytes, 64u);
+  EXPECT_LT(inf.l1_ns, inf.l2_ns);
+  EXPECT_LT(inf.l2_ns, inf.l3_ns);
+  EXPECT_LT(inf.l3_ns, inf.mem_ns);
+}
+
+TEST_F(StrideSurface, SmallStridesAmortiseLineFills) {
+  // At 8 B stride, 8 touches share each 64 B line: average cost for an
+  // L2-resident array is much lower than at line stride.
+  const double dense = results().ns(128 * 1024, 8);
+  const double sparse = results().ns(128 * 1024, 64);
+  EXPECT_LT(dense, sparse * 0.75);
+}
+
+TEST(StrideWorkloadTest, DeterministicAcrossFreshNodes) {
+  const StrideConfig config = StrideConfig::quick();
+  auto run_once = [&config] {
+    sim::Node node(sim::MachineConfig::romley(), /*seed=*/5);
+    node.set_os_noise(false);
+    StrideWorkload workload(config);
+    node.run(workload);
+    return workload.results().cells;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].ns_per_access, second[i].ns_per_access)
+        << "cell " << i;
+  }
+}
+
+TEST(StrideWorkloadTest, CapInflatesAccessTimes) {
+  // Mirrors the Fig. 3 vs Fig. 4 comparison at one representative cell.
+  StrideConfig config = StrideConfig::quick();
+  config.touches_per_cell = 8000;
+
+  sim::Node uncapped(sim::MachineConfig::romley());
+  StrideWorkload base(config);
+  uncapped.run(base);
+
+  sim::Node capped_node(sim::MachineConfig::romley());
+  core::CappedRunner runner(capped_node);
+  StrideWorkload capped(config);
+  runner.run(capped, 120.0);
+
+  double base_sum = 0.0, capped_sum = 0.0;
+  for (const auto& cell : base.results().cells) base_sum += cell.ns_per_access;
+  for (const auto& cell : capped.results().cells) {
+    capped_sum += cell.ns_per_access;
+  }
+  EXPECT_GT(capped_sum, base_sum * 3.0);
+}
+
+}  // namespace
+}  // namespace pcap::apps::stride

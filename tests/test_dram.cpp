@@ -1,0 +1,100 @@
+// Unit tests for the DRAM timing model.
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+#include "util/units.hpp"
+
+namespace pcap::mem {
+namespace {
+
+DramConfig config() {
+  DramConfig c;
+  c.banks = 4;
+  c.row_bytes = 1024;
+  c.row_hit_ns = 48.0;
+  c.row_miss_ns = 66.0;
+  c.gated_extra_ns = 60.0;
+  return c;
+}
+
+TEST(Dram, RejectsBadConfig) {
+  DramConfig c = config();
+  c.banks = 0;
+  EXPECT_THROW(Dram{c}, std::invalid_argument);
+  c = config();
+  c.row_bytes = 0;
+  EXPECT_THROW(Dram{c}, std::invalid_argument);
+}
+
+TEST(Dram, FirstAccessIsRowMiss) {
+  Dram dram(config());
+  EXPECT_EQ(dram.access(0), util::nanoseconds(66.0));
+  EXPECT_EQ(dram.stats().row_misses, 1u);
+}
+
+TEST(Dram, SameRowHits) {
+  Dram dram(config());
+  dram.access(0);
+  EXPECT_EQ(dram.access(64), util::nanoseconds(48.0));
+  EXPECT_EQ(dram.access(960), util::nanoseconds(48.0));
+  EXPECT_EQ(dram.stats().row_hits, 2u);
+}
+
+TEST(Dram, ConsecutiveRowsInterleaveAcrossBanks) {
+  Dram dram(config());
+  // Rows 0..3 land in banks 0..3; touching them in turn leaves all four
+  // rows open, so a second pass is all row hits.
+  for (int r = 0; r < 4; ++r) dram.access(static_cast<std::uint64_t>(r) * 1024);
+  dram.reset_stats();
+  for (int r = 0; r < 4; ++r) dram.access(static_cast<std::uint64_t>(r) * 1024);
+  EXPECT_EQ(dram.stats().row_hits, 4u);
+  EXPECT_EQ(dram.stats().row_misses, 0u);
+}
+
+TEST(Dram, ConflictingRowsInSameBankMiss) {
+  Dram dram(config());
+  const std::uint64_t bank_stride = 4ull * 1024;  // same bank, next row
+  dram.access(0);
+  dram.reset_stats();
+  dram.access(bank_stride);
+  dram.access(0);
+  EXPECT_EQ(dram.stats().row_misses, 2u);
+}
+
+TEST(Dram, GatedModeAddsExitPenalty) {
+  Dram dram(config());
+  dram.access(0);
+  dram.set_gated(true);
+  EXPECT_TRUE(dram.gated());
+  EXPECT_EQ(dram.access(64), util::nanoseconds(48.0 + 60.0));
+  dram.set_gated(false);
+  EXPECT_EQ(dram.access(128), util::nanoseconds(48.0));
+}
+
+TEST(Dram, CloseRowsForcesMisses) {
+  Dram dram(config());
+  dram.access(0);
+  dram.close_rows();
+  dram.reset_stats();
+  dram.access(64);
+  EXPECT_EQ(dram.stats().row_misses, 1u);
+}
+
+TEST(Dram, StatsHitRate) {
+  Dram dram(config());
+  dram.access(0);
+  dram.access(64);
+  dram.access(128);
+  EXPECT_NEAR(dram.stats().row_hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Dram, SequentialStreamIsMostlyRowHits) {
+  Dram dram(config());
+  for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) dram.access(addr);
+  // One miss per new row (1024/64 = 16 accesses per row).
+  EXPECT_EQ(dram.stats().row_misses, 64u);
+  EXPECT_EQ(dram.stats().row_hits, 1024u - 64u);
+}
+
+}  // namespace
+}  // namespace pcap::mem

@@ -1,0 +1,52 @@
+// Tests for the logging facility and remaining util corners.
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace pcap::util {
+namespace {
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("banana"), LogLevel::kOff);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // Emitting below the threshold must be a no-op (and not crash).
+  PCAP_LOG_DEBUG << "suppressed " << 42;
+  PCAP_LOG_INFO << "suppressed too";
+  set_log_level(before);
+}
+
+TEST(Log, EmitAboveThresholdDoesNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  PCAP_LOG_ERROR << "expected test error message " << 3.14;
+  set_log_level(before);
+}
+
+TEST(UnitsMore, CyclesToTime) {
+  EXPECT_EQ(cycles_to_time(1000, 1 * kGigaHertz), 1000000u);
+  // Round-trip at the Romley clock.
+  const Hertz f = 2701 * kMegaHertz;
+  const auto t = cycles_to_time(1000000, f);
+  const auto cycles = cycles_in(t, f);
+  EXPECT_NEAR(static_cast<double>(cycles), 1e6, 1e3);
+}
+
+TEST(UnitsMore, FormatHertz) {
+  EXPECT_EQ(format_hertz(2701 * kMegaHertz), "2.70 GHz");
+  EXPECT_EQ(format_hertz(1200 * kMegaHertz), "1.20 GHz");
+  EXPECT_EQ(format_hertz(900 * kMegaHertz), "900 MHz");
+  EXPECT_EQ(format_hertz(42), "42 Hz");
+}
+
+}  // namespace
+}  // namespace pcap::util

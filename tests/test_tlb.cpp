@@ -1,0 +1,107 @@
+// Unit tests for the TLB model: LRU replacement, reach, entry gating.
+#include <gtest/gtest.h>
+
+#include "cache/tlb.hpp"
+#include "util/rng.hpp"
+
+namespace pcap::cache {
+namespace {
+
+TEST(Tlb, RejectsBadConfig) {
+  EXPECT_THROW(Tlb({.name = "t", .entries = 0}), std::invalid_argument);
+  EXPECT_THROW(Tlb({.name = "t", .entries = 4, .page_bytes = 3000}),
+               std::invalid_argument);
+}
+
+TEST(Tlb, MissThenHitWithinPage) {
+  Tlb tlb({.name = "t", .entries = 4});
+  EXPECT_FALSE(tlb.lookup(0x1000));
+  EXPECT_TRUE(tlb.lookup(0x1FFF));  // same 4K page
+  EXPECT_FALSE(tlb.lookup(0x2000));
+  EXPECT_EQ(tlb.stats().accesses, 3u);
+  EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(Tlb, LruReplacement) {
+  Tlb tlb({.name = "t", .entries = 2});
+  tlb.lookup(0x0000);   // page 0
+  tlb.lookup(0x1000);   // page 1
+  tlb.lookup(0x0000);   // touch page 0 -> page 1 is LRU
+  tlb.lookup(0x2000);   // page 2 evicts page 1
+  EXPECT_TRUE(tlb.contains(0x0000));
+  EXPECT_FALSE(tlb.contains(0x1000));
+  EXPECT_TRUE(tlb.contains(0x2000));
+}
+
+TEST(Tlb, ReachMatchesActiveEntries) {
+  Tlb tlb({.name = "t", .entries = 64});
+  EXPECT_EQ(tlb.reach_bytes(), 64u * 4096);
+  tlb.set_active_entries(8);
+  EXPECT_EQ(tlb.reach_bytes(), 8u * 4096);
+}
+
+TEST(Tlb, WorkingSetWithinReachHitsAfterWarmup) {
+  Tlb tlb({.name = "t", .entries = 16});
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t p = 0; p < 16; ++p) tlb.lookup(p * 4096);
+  }
+  tlb.reset_stats();
+  for (std::uint64_t p = 0; p < 16; ++p) tlb.lookup(p * 4096);
+  EXPECT_EQ(tlb.stats().misses, 0u);
+}
+
+TEST(Tlb, CyclicThrashBeyondReachMissesEverything) {
+  Tlb tlb({.name = "t", .entries = 16});
+  // 17 pages cycling through 16 entries with LRU: every lookup misses.
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t p = 0; p < 17; ++p) tlb.lookup(p * 4096);
+  }
+  tlb.reset_stats();
+  for (std::uint64_t p = 0; p < 17; ++p) tlb.lookup(p * 4096);
+  EXPECT_EQ(tlb.stats().misses, 17u);
+}
+
+TEST(Tlb, EntryGatingFlushesGatedEntriesAndThrashes) {
+  Tlb tlb({.name = "t", .entries = 48});
+  for (std::uint64_t p = 0; p < 12; ++p) tlb.lookup(p * 4096);
+  tlb.reset_stats();
+  for (std::uint64_t p = 0; p < 12; ++p) tlb.lookup(p * 4096);
+  EXPECT_EQ(tlb.stats().misses, 0u);  // 12 pages fit 48 entries
+
+  tlb.set_active_entries(6);
+  EXPECT_EQ(tlb.active_entries(), 6u);
+  tlb.reset_stats();
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t p = 0; p < 12; ++p) tlb.lookup(p * 4096);
+  }
+  // 12-page cyclic loop over 6 entries: every access misses.
+  EXPECT_EQ(tlb.stats().misses, 48u);
+}
+
+TEST(Tlb, GatingClampsAndReenableWorks) {
+  Tlb tlb({.name = "t", .entries = 8});
+  tlb.set_active_entries(0);
+  EXPECT_EQ(tlb.active_entries(), 1u);
+  tlb.set_active_entries(100);
+  EXPECT_EQ(tlb.active_entries(), 8u);
+}
+
+TEST(Tlb, FlushDropsAllTranslations) {
+  Tlb tlb({.name = "t", .entries = 8});
+  for (std::uint64_t p = 0; p < 8; ++p) tlb.lookup(p * 4096);
+  tlb.flush();
+  for (std::uint64_t p = 0; p < 8; ++p) EXPECT_FALSE(tlb.contains(p * 4096));
+}
+
+TEST(Tlb, RandomStreamMissRateBounded) {
+  Tlb tlb({.name = "t", .entries = 64});
+  util::Rng rng(9);
+  // Uniform over 32 pages (half the reach): after warmup, no misses.
+  for (int i = 0; i < 200; ++i) tlb.lookup(rng.below(32) * 4096);
+  tlb.reset_stats();
+  for (int i = 0; i < 2000; ++i) tlb.lookup(rng.below(32) * 4096);
+  EXPECT_EQ(tlb.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace pcap::cache

@@ -1,0 +1,122 @@
+// Tests for trace capture/replay: recorded streams, serialisation, and the
+// exact-equivalence property (a replayed trace reproduces the live run's
+// counters bit-for-bit).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "apps/machine.hpp"
+#include "apps/stereo/workload.hpp"
+#include "apps/trace.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+
+namespace pcap::apps {
+namespace {
+
+TEST(Trace, RecordsOperationsInOrder) {
+  Trace trace;
+  HostMachine host;
+  RecordingMachine<HostMachine> rec(host, trace);
+  const Address a = rec.alloc(128);
+  rec.set_code_footprint(2, 5);
+  rec.load(a);
+  rec.store(a + 64);
+  rec.compute(10);
+  rec.compute(7);  // coalesced with the previous compute
+
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.ops[0].kind, TraceOp::Kind::kAlloc);
+  EXPECT_EQ(trace.ops[0].value, 128u);
+  EXPECT_EQ(trace.ops[1].kind, TraceOp::Kind::kCodeFootprint);
+  EXPECT_EQ(trace.ops[1].aux, 5u);
+  EXPECT_EQ(trace.ops[2].kind, TraceOp::Kind::kLoad);
+  EXPECT_EQ(trace.ops[2].value, a);
+  EXPECT_EQ(trace.ops[3].kind, TraceOp::Kind::kStore);
+  EXPECT_EQ(trace.ops[4].kind, TraceOp::Kind::kCompute);
+  EXPECT_EQ(trace.ops[4].value, 17u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace trace;
+  trace.ops = {{TraceOp::Kind::kAlloc, 4096, 0},
+               {TraceOp::Kind::kCodeFootprint, 3, 7},
+               {TraceOp::Kind::kLoad, 0xDEADBEEF, 0},
+               {TraceOp::Kind::kCompute, 123456789, 0}};
+  const std::string path = ::testing::TempDir() + "/roundtrip.trc";
+  trace.save(path);
+  const Trace loaded = Trace::load(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.ops[i].kind, trace.ops[i].kind);
+    EXPECT_EQ(loaded.ops[i].value, trace.ops[i].value);
+    EXPECT_EQ(loaded.ops[i].aux, trace.ops[i].aux);
+  }
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.trc";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a trace file at all";
+  }
+  EXPECT_THROW(Trace::load(path), std::runtime_error);
+  EXPECT_THROW(Trace::load("/nonexistent/path.trc"), std::runtime_error);
+}
+
+TEST(Trace, ReplayedStereoMatchesLiveCounters) {
+  // Record a live simulated run of the stereo workload...
+  const auto params = stereo::StereoParams::quick();
+  stereo::StereoWorkload live(params);
+
+  Trace trace;
+  class RecordingStereoRun final : public sim::Workload {
+   public:
+    RecordingStereoRun(stereo::StereoWorkload& app, Trace& trace)
+        : app_(&app), trace_(&trace) {}
+    std::string name() const override { return "recording"; }
+    void run(sim::ExecutionContext& ctx) override {
+      SimMachine inner(ctx);
+      RecordingMachine<SimMachine> rec(inner, *trace_);
+      const stereo::StereoPair& pair = app_->pair();
+      const Address left = rec.alloc(pair.pixels() * 4);
+      const Address right = rec.alloc(pair.pixels() * 4);
+      const Address volume = rec.alloc(
+          pair.pixels() * static_cast<std::uint64_t>(pair.max_disparity) * 2);
+      const Address disp = rec.alloc(pair.pixels());
+      const auto vol = stereo::build_cost_volume(rec, pair,
+                                                 app_->params().window, left,
+                                                 right, volume);
+      stereo::anneal_disparity(rec, vol, app_->params().anneal, volume, disp);
+    }
+   private:
+    stereo::StereoWorkload* app_;
+    Trace* trace_;
+  };
+
+  // OS noise fires on housekeeping ticks; trace compute-coalescing shifts
+  // tick boundaries slightly, so disable it for exact stream comparison.
+  sim::Node live_node(sim::MachineConfig::romley(), 3);
+  live_node.set_os_noise(false);
+  RecordingStereoRun recording(live, trace);
+  const sim::RunReport live_report = live_node.run(recording);
+  ASSERT_GT(trace.size(), 1000u);
+
+  // ...then replay the trace on a fresh identical node: every counter
+  // matches exactly, timing/energy to within rounding of tick boundaries.
+  sim::Node replay_node(sim::MachineConfig::romley(), 3);
+  replay_node.set_os_noise(false);
+  TraceReplayWorkload replay(trace);
+  const sim::RunReport replay_report = replay_node.run(replay);
+
+  EXPECT_EQ(replay_report.counters, live_report.counters);
+  EXPECT_NEAR(static_cast<double>(replay_report.elapsed),
+              static_cast<double>(live_report.elapsed),
+              static_cast<double>(live_report.elapsed) * 1e-4);
+  EXPECT_NEAR(replay_report.energy_j, live_report.energy_j,
+              live_report.energy_j * 1e-3);
+}
+
+}  // namespace
+}  // namespace pcap::apps
