@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dither.dir/ablate_dither.cpp.o"
+  "CMakeFiles/ablate_dither.dir/ablate_dither.cpp.o.d"
+  "ablate_dither"
+  "ablate_dither.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dither.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_escalation.dir/ablate_escalation.cpp.o"
+  "CMakeFiles/ablate_escalation.dir/ablate_escalation.cpp.o.d"
+  "ablate_escalation"
+  "ablate_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_race_to_idle.dir/ablate_race_to_idle.cpp.o"
+  "CMakeFiles/ablate_race_to_idle.dir/ablate_race_to_idle.cpp.o.d"
+  "ablate_race_to_idle"
+  "ablate_race_to_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_race_to_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

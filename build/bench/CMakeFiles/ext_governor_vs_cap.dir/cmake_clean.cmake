@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_governor_vs_cap.dir/ext_governor_vs_cap.cpp.o"
+  "CMakeFiles/ext_governor_vs_cap.dir/ext_governor_vs_cap.cpp.o.d"
+  "ext_governor_vs_cap"
+  "ext_governor_vs_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_governor_vs_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

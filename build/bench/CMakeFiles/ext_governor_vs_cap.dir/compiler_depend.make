@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_governor_vs_cap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_unpredictable.dir/ext_unpredictable.cpp.o"
+  "CMakeFiles/ext_unpredictable.dir/ext_unpredictable.cpp.o.d"
+  "ext_unpredictable"
+  "ext_unpredictable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_unpredictable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

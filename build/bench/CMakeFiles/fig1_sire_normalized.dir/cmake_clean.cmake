@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sire_normalized.dir/fig1_sire_normalized.cpp.o"
+  "CMakeFiles/fig1_sire_normalized.dir/fig1_sire_normalized.cpp.o.d"
+  "fig1_sire_normalized"
+  "fig1_sire_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sire_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stereo_normalized.dir/fig2_stereo_normalized.cpp.o"
+  "CMakeFiles/fig2_stereo_normalized.dir/fig2_stereo_normalized.cpp.o.d"
+  "fig2_stereo_normalized"
+  "fig2_stereo_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stereo_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

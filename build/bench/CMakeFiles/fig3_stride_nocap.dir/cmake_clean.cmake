@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stride_nocap.dir/fig3_stride_nocap.cpp.o"
+  "CMakeFiles/fig3_stride_nocap.dir/fig3_stride_nocap.cpp.o.d"
+  "fig3_stride_nocap"
+  "fig3_stride_nocap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stride_nocap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_stride_cap120.dir/fig4_stride_cap120.cpp.o"
+  "CMakeFiles/fig4_stride_cap120.dir/fig4_stride_cap120.cpp.o.d"
+  "fig4_stride_cap120"
+  "fig4_stride_cap120.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_stride_cap120.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_powercaps.dir/table2_powercaps.cpp.o"
+  "CMakeFiles/table2_powercaps.dir/table2_powercaps.cpp.o.d"
+  "table2_powercaps"
+  "table2_powercaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_powercaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

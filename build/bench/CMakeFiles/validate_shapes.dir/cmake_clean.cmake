@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_shapes.dir/validate_shapes.cpp.o"
+  "CMakeFiles/validate_shapes.dir/validate_shapes.cpp.o.d"
+  "validate_shapes"
+  "validate_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

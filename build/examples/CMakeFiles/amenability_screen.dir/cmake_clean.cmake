@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amenability_screen.dir/amenability_screen.cpp.o"
+  "CMakeFiles/amenability_screen.dir/amenability_screen.cpp.o.d"
+  "amenability_screen"
+  "amenability_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amenability_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_group.dir/datacenter_group.cpp.o"
+  "CMakeFiles/datacenter_group.dir/datacenter_group.cpp.o.d"
+  "datacenter_group"
+  "datacenter_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

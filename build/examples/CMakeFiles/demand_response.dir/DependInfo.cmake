@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/demand_response.cpp" "examples/CMakeFiles/demand_response.dir/demand_response.cpp.o" "gcc" "examples/CMakeFiles/demand_response.dir/demand_response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pcap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pcap_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pcap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/pcap_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pcap_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmi/CMakeFiles/pcap_ipmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

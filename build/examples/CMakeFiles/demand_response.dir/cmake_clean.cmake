@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_response.dir/demand_response.cpp.o"
+  "CMakeFiles/demand_response.dir/demand_response.cpp.o.d"
+  "demand_response"
+  "demand_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

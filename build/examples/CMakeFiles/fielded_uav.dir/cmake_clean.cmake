@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fielded_uav.dir/fielded_uav.cpp.o"
+  "CMakeFiles/fielded_uav.dir/fielded_uav.cpp.o.d"
+  "fielded_uav"
+  "fielded_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fielded_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

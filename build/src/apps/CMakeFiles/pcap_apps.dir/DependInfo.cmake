@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/kernels/kernels.cpp" "src/apps/CMakeFiles/pcap_apps.dir/kernels/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/kernels/kernels.cpp.o.d"
+  "/root/repo/src/apps/sar/radar.cpp" "src/apps/CMakeFiles/pcap_apps.dir/sar/radar.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/sar/radar.cpp.o.d"
+  "/root/repo/src/apps/sar/rsm.cpp" "src/apps/CMakeFiles/pcap_apps.dir/sar/rsm.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/sar/rsm.cpp.o.d"
+  "/root/repo/src/apps/sar/scene.cpp" "src/apps/CMakeFiles/pcap_apps.dir/sar/scene.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/sar/scene.cpp.o.d"
+  "/root/repo/src/apps/sar/workload.cpp" "src/apps/CMakeFiles/pcap_apps.dir/sar/workload.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/sar/workload.cpp.o.d"
+  "/root/repo/src/apps/stereo/annealing.cpp" "src/apps/CMakeFiles/pcap_apps.dir/stereo/annealing.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/stereo/annealing.cpp.o.d"
+  "/root/repo/src/apps/stereo/scene.cpp" "src/apps/CMakeFiles/pcap_apps.dir/stereo/scene.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/stereo/scene.cpp.o.d"
+  "/root/repo/src/apps/stereo/workload.cpp" "src/apps/CMakeFiles/pcap_apps.dir/stereo/workload.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/stereo/workload.cpp.o.d"
+  "/root/repo/src/apps/stride/stride.cpp" "src/apps/CMakeFiles/pcap_apps.dir/stride/stride.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/stride/stride.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/apps/CMakeFiles/pcap_apps.dir/synthetic.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/synthetic.cpp.o.d"
+  "/root/repo/src/apps/trace.cpp" "src/apps/CMakeFiles/pcap_apps.dir/trace.cpp.o" "gcc" "src/apps/CMakeFiles/pcap_apps.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pcap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/pcap_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pcap_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

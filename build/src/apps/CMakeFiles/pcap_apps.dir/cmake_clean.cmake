@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_apps.dir/kernels/kernels.cpp.o"
+  "CMakeFiles/pcap_apps.dir/kernels/kernels.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/sar/radar.cpp.o"
+  "CMakeFiles/pcap_apps.dir/sar/radar.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/sar/rsm.cpp.o"
+  "CMakeFiles/pcap_apps.dir/sar/rsm.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/sar/scene.cpp.o"
+  "CMakeFiles/pcap_apps.dir/sar/scene.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/sar/workload.cpp.o"
+  "CMakeFiles/pcap_apps.dir/sar/workload.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/stereo/annealing.cpp.o"
+  "CMakeFiles/pcap_apps.dir/stereo/annealing.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/stereo/scene.cpp.o"
+  "CMakeFiles/pcap_apps.dir/stereo/scene.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/stereo/workload.cpp.o"
+  "CMakeFiles/pcap_apps.dir/stereo/workload.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/stride/stride.cpp.o"
+  "CMakeFiles/pcap_apps.dir/stride/stride.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/pcap_apps.dir/synthetic.cpp.o.d"
+  "CMakeFiles/pcap_apps.dir/trace.cpp.o"
+  "CMakeFiles/pcap_apps.dir/trace.cpp.o.d"
+  "libpcap_apps.a"
+  "libpcap_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

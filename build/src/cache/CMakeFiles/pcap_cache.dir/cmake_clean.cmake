@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_cache.dir/cache.cpp.o"
+  "CMakeFiles/pcap_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/pcap_cache.dir/tlb.cpp.o"
+  "CMakeFiles/pcap_cache.dir/tlb.cpp.o.d"
+  "libpcap_cache.a"
+  "libpcap_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amenability.cpp" "src/core/CMakeFiles/pcap_core.dir/amenability.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/amenability.cpp.o.d"
+  "/root/repo/src/core/bmc.cpp" "src/core/CMakeFiles/pcap_core.dir/bmc.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/bmc.cpp.o.d"
+  "/root/repo/src/core/bmc_ipmi_server.cpp" "src/core/CMakeFiles/pcap_core.dir/bmc_ipmi_server.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/bmc_ipmi_server.cpp.o.d"
+  "/root/repo/src/core/capped_runner.cpp" "src/core/CMakeFiles/pcap_core.dir/capped_runner.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/capped_runner.cpp.o.d"
+  "/root/repo/src/core/dcm.cpp" "src/core/CMakeFiles/pcap_core.dir/dcm.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/dcm.cpp.o.d"
+  "/root/repo/src/core/governor.cpp" "src/core/CMakeFiles/pcap_core.dir/governor.cpp.o" "gcc" "src/core/CMakeFiles/pcap_core.dir/governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipmi/CMakeFiles/pcap_ipmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pcap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/pcap_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pcap_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

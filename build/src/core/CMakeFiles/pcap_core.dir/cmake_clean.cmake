@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_core.dir/amenability.cpp.o"
+  "CMakeFiles/pcap_core.dir/amenability.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/bmc.cpp.o"
+  "CMakeFiles/pcap_core.dir/bmc.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/bmc_ipmi_server.cpp.o"
+  "CMakeFiles/pcap_core.dir/bmc_ipmi_server.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/capped_runner.cpp.o"
+  "CMakeFiles/pcap_core.dir/capped_runner.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/dcm.cpp.o"
+  "CMakeFiles/pcap_core.dir/dcm.cpp.o.d"
+  "CMakeFiles/pcap_core.dir/governor.cpp.o"
+  "CMakeFiles/pcap_core.dir/governor.cpp.o.d"
+  "libpcap_core.a"
+  "libpcap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_harness.dir/agreement.cpp.o"
+  "CMakeFiles/pcap_harness.dir/agreement.cpp.o.d"
+  "CMakeFiles/pcap_harness.dir/cli.cpp.o"
+  "CMakeFiles/pcap_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/pcap_harness.dir/experiment.cpp.o"
+  "CMakeFiles/pcap_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/pcap_harness.dir/paper_reference.cpp.o"
+  "CMakeFiles/pcap_harness.dir/paper_reference.cpp.o.d"
+  "CMakeFiles/pcap_harness.dir/report.cpp.o"
+  "CMakeFiles/pcap_harness.dir/report.cpp.o.d"
+  "libpcap_harness.a"
+  "libpcap_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

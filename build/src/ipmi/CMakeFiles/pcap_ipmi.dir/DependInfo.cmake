@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipmi/commands.cpp" "src/ipmi/CMakeFiles/pcap_ipmi.dir/commands.cpp.o" "gcc" "src/ipmi/CMakeFiles/pcap_ipmi.dir/commands.cpp.o.d"
+  "/root/repo/src/ipmi/message.cpp" "src/ipmi/CMakeFiles/pcap_ipmi.dir/message.cpp.o" "gcc" "src/ipmi/CMakeFiles/pcap_ipmi.dir/message.cpp.o.d"
+  "/root/repo/src/ipmi/transport.cpp" "src/ipmi/CMakeFiles/pcap_ipmi.dir/transport.cpp.o" "gcc" "src/ipmi/CMakeFiles/pcap_ipmi.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_ipmi.dir/commands.cpp.o"
+  "CMakeFiles/pcap_ipmi.dir/commands.cpp.o.d"
+  "CMakeFiles/pcap_ipmi.dir/message.cpp.o"
+  "CMakeFiles/pcap_ipmi.dir/message.cpp.o.d"
+  "CMakeFiles/pcap_ipmi.dir/transport.cpp.o"
+  "CMakeFiles/pcap_ipmi.dir/transport.cpp.o.d"
+  "libpcap_ipmi.a"
+  "libpcap_ipmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_ipmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

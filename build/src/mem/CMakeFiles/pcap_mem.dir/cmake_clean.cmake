@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_mem.dir/dram.cpp.o"
+  "CMakeFiles/pcap_mem.dir/dram.cpp.o.d"
+  "libpcap_mem.a"
+  "libpcap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_meter.dir/watts_up.cpp.o"
+  "CMakeFiles/pcap_meter.dir/watts_up.cpp.o.d"
+  "libpcap_meter.a"
+  "libpcap_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_pmu.dir/counters.cpp.o"
+  "CMakeFiles/pcap_pmu.dir/counters.cpp.o.d"
+  "CMakeFiles/pcap_pmu.dir/events.cpp.o"
+  "CMakeFiles/pcap_pmu.dir/events.cpp.o.d"
+  "libpcap_pmu.a"
+  "libpcap_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core_model.cpp" "src/sim/CMakeFiles/pcap_sim.dir/core_model.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/core_model.cpp.o.d"
+  "/root/repo/src/sim/execution_context.cpp" "src/sim/CMakeFiles/pcap_sim.dir/execution_context.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/execution_context.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/sim/CMakeFiles/pcap_sim.dir/hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/machine_config.cpp" "src/sim/CMakeFiles/pcap_sim.dir/machine_config.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/machine_config.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/pcap_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/smp_node.cpp" "src/sim/CMakeFiles/pcap_sim.dir/smp_node.cpp.o" "gcc" "src/sim/CMakeFiles/pcap_sim.dir/smp_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/pcap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/pcap_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pcap_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_sim.dir/core_model.cpp.o"
+  "CMakeFiles/pcap_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/execution_context.cpp.o"
+  "CMakeFiles/pcap_sim.dir/execution_context.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/hierarchy.cpp.o"
+  "CMakeFiles/pcap_sim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/machine_config.cpp.o"
+  "CMakeFiles/pcap_sim.dir/machine_config.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/node.cpp.o"
+  "CMakeFiles/pcap_sim.dir/node.cpp.o.d"
+  "CMakeFiles/pcap_sim.dir/smp_node.cpp.o"
+  "CMakeFiles/pcap_sim.dir/smp_node.cpp.o.d"
+  "libpcap_sim.a"
+  "libpcap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agreement.cpp" "tests/CMakeFiles/pcap_tests.dir/test_agreement.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_agreement.cpp.o.d"
+  "/root/repo/tests/test_amenability.cpp" "tests/CMakeFiles/pcap_tests.dir/test_amenability.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_amenability.cpp.o.d"
+  "/root/repo/tests/test_apps_sar.cpp" "tests/CMakeFiles/pcap_tests.dir/test_apps_sar.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_apps_sar.cpp.o.d"
+  "/root/repo/tests/test_apps_stereo.cpp" "tests/CMakeFiles/pcap_tests.dir/test_apps_stereo.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_apps_stereo.cpp.o.d"
+  "/root/repo/tests/test_apps_stride.cpp" "tests/CMakeFiles/pcap_tests.dir/test_apps_stride.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_apps_stride.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/pcap_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_core_bmc.cpp" "tests/CMakeFiles/pcap_tests.dir/test_core_bmc.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_core_bmc.cpp.o.d"
+  "/root/repo/tests/test_core_dcm.cpp" "tests/CMakeFiles/pcap_tests.dir/test_core_dcm.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_core_dcm.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/pcap_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_governor.cpp" "tests/CMakeFiles/pcap_tests.dir/test_governor.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_governor.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/pcap_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/pcap_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ipmi.cpp" "tests/CMakeFiles/pcap_tests.dir/test_ipmi.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_ipmi.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/pcap_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/pcap_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_meter.cpp" "tests/CMakeFiles/pcap_tests.dir/test_meter.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_meter.cpp.o.d"
+  "/root/repo/tests/test_pmu.cpp" "tests/CMakeFiles/pcap_tests.dir/test_pmu.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_pmu.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/pcap_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pcap_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/pcap_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sim_more.cpp" "tests/CMakeFiles/pcap_tests.dir/test_sim_more.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_sim_more.cpp.o.d"
+  "/root/repo/tests/test_smp.cpp" "tests/CMakeFiles/pcap_tests.dir/test_smp.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_smp.cpp.o.d"
+  "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/pcap_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_tlb.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/pcap_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/pcap_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/pcap_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pcap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pcap_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pcap_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pcap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/pcap_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pcap_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipmi/CMakeFiles/pcap_ipmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pcap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
