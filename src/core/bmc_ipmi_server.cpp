@@ -53,7 +53,9 @@ std::vector<std::uint8_t> BmcIpmiServer::handle_frame(
     return ipmi::encode_response(
         ipmi::make_error_response(CompletionCode::kRequestDataInvalid));
   }
-  return ipmi::encode_response(handle(request));
+  ipmi::Response response = handle(request);
+  response.seq = request.seq;  // rqSeq echo — lets the client reject stale frames
+  return ipmi::encode_response(response);
 }
 
 }  // namespace pcap::core

@@ -1,39 +1,95 @@
 #include "core/dcm.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
 namespace pcap::core {
 
+namespace {
+
+/// Floor + demand-proportional surplus, clamped to each ceiling. Empty when
+/// the budget cannot cover the floors (leftover from clamping is not
+/// re-spread — the budget is a limit, not a quota).
+std::vector<double> split_budget(const std::vector<double>& demands,
+                                 const std::vector<double>& floors,
+                                 const std::vector<double>& ceilings,
+                                 double budget) {
+  const double floor_sum = std::accumulate(floors.begin(), floors.end(), 0.0);
+  const double demand_sum =
+      std::accumulate(demands.begin(), demands.end(), 0.0);
+  if (budget < floor_sum || demand_sum <= 0.0) return {};
+  const double surplus = budget - floor_sum;
+  std::vector<double> caps(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    caps[i] =
+        std::min(floors[i] + surplus * demands[i] / demand_sum, ceilings[i]);
+  }
+  return caps;
+}
+
+std::string watts_str(double w) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", w);
+  return buf;
+}
+
+}  // namespace
+
+ipmi::Response ManagedNode::transact_with_retry(const ipmi::Request& request) {
+  const std::uint32_t attempts = std::max(1u, backoff_.max_attempts);
+  ipmi::Response response;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    response = session_.transact(request);
+    if (session_.last_error() == ipmi::Session::Error::kNone) return response;
+    if (attempt + 1 >= attempts) break;
+    ++retries_;
+    backoff_ms_total_ += util::backoff_delay_ms(backoff_, attempt, rng_);
+  }
+  ++failed_exchanges_;
+  return response;
+}
+
 std::optional<ipmi::DeviceId> ManagedNode::device_id() {
-  return ipmi::decode_device_id(session_.transact(ipmi::make_get_device_id()));
+  return ipmi::decode_device_id(
+      transact_with_retry(ipmi::make_get_device_id()));
 }
 
 std::optional<ipmi::PowerReading> ManagedNode::power_reading() {
   return ipmi::decode_power_reading(
-      session_.transact(ipmi::make_get_power_reading()));
+      transact_with_retry(ipmi::make_get_power_reading()));
 }
 
 std::optional<ipmi::Capabilities> ManagedNode::capabilities() {
   return ipmi::decode_capabilities(
-      session_.transact(ipmi::make_get_capabilities()));
+      transact_with_retry(ipmi::make_get_capabilities()));
 }
 
 std::optional<ipmi::PowerLimit> ManagedNode::power_limit() {
   return ipmi::decode_power_limit(
-      session_.transact(ipmi::make_get_power_limit()));
+      transact_with_retry(ipmi::make_get_power_limit()));
 }
 
 std::optional<ipmi::ThrottleStatus> ManagedNode::throttle_status() {
   return ipmi::decode_throttle_status(
-      session_.transact(ipmi::make_get_throttle_status()));
+      transact_with_retry(ipmi::make_get_throttle_status()));
 }
 
 bool ManagedNode::set_cap(std::optional<double> watts) {
   ipmi::PowerLimit limit;
   limit.enabled = watts.has_value();
   limit.limit_w = watts.value_or(0.0);
-  return session_.transact(ipmi::make_set_power_limit(limit)).ok();
+  return transact_with_retry(ipmi::make_set_power_limit(limit)).ok();
+}
+
+std::string node_health_name(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy: return "healthy";
+    case NodeHealth::kDegraded: return "degraded";
+    case NodeHealth::kLost: return "lost";
+    case NodeHealth::kRecovered: return "recovered";
+  }
+  return "unknown";
 }
 
 DataCenterManager::Entry* DataCenterManager::find(const std::string& name) {
@@ -54,10 +110,21 @@ const DataCenterManager::Entry* DataCenterManager::find(
 bool DataCenterManager::add_node(const std::string& name,
                                  ipmi::Transport& transport) {
   if (find(name) != nullptr) return false;
-  auto node = std::make_unique<ManagedNode>(name, transport);
+  // Derive a per-node jitter seed so retry schedules across the fleet are
+  // decorrelated but still reproducible from the configured seed.
+  NodeCommsConfig comms = config_.comms;
+  std::uint64_t state =
+      comms.seed ^ (0x9E3779B97F4A7C15ull * (nodes_.size() + 1));
+  for (unsigned char c : name) state += c;
+  comms.seed = util::splitmix64(state);
+
+  auto node = std::make_unique<ManagedNode>(name, transport, comms);
   if (!node->device_id()) return false;  // discovery probe
+  const auto caps = node->capabilities();
+  if (!caps) return false;
   Entry e;
   e.node = std::move(node);
+  e.caps = *caps;
   nodes_.push_back(std::move(e));
   return true;
 }
@@ -74,11 +141,18 @@ std::vector<std::string> DataCenterManager::node_names() const {
   return names;
 }
 
+bool DataCenterManager::set_cap_recorded(Entry& e,
+                                         std::optional<double> watts) {
+  if (!e.node->set_cap(watts)) return false;
+  e.applied_cap_w = watts;
+  return true;
+}
+
 bool DataCenterManager::apply_node_cap(const std::string& name,
                                        std::optional<double> watts) {
   Entry* e = find(name);
   if (e == nullptr) return false;
-  return e->node->set_cap(watts);
+  return set_cap_recorded(*e, watts);
 }
 
 std::vector<std::pair<std::string, double>> DataCenterManager::apply_group_cap(
@@ -86,47 +160,48 @@ std::vector<std::pair<std::string, double>> DataCenterManager::apply_group_cap(
   std::vector<std::pair<std::string, double>> applied;
   if (nodes_.empty()) return applied;
 
-  struct NodePlan {
-    Entry* entry;
-    double demand_w;
-    double floor_w;
-    double ceiling_w;
-  };
-  std::vector<NodePlan> plans;
-  double floor_sum = 0.0;
-  double demand_sum = 0.0;
+  // Lost nodes cannot be re-capped; whatever their BMCs are enforcing is
+  // reserved out of the budget. Reachable nodes are planned from fresh
+  // telemetry (a failure aborts — health bookkeeping belongs to poll()).
+  std::vector<Entry*> live;
+  std::vector<double> demands, floors, ceilings;
+  double reserved = 0.0;
   for (auto& e : nodes_) {
+    if (e.health == NodeHealth::kLost) {
+      reserved += reserved_for(e);
+      continue;
+    }
     const auto reading = e.node->power_reading();
     const auto caps = e.node->capabilities();
-    if (!reading || !caps) return applied;  // abort on telemetry failure
-    NodePlan p{&e, std::max(reading->average_w, reading->current_w),
-               caps->min_cap_w, caps->max_cap_w};
-    if (p.demand_w <= 0.0) p.demand_w = p.floor_w;
-    p.demand_w *= static_cast<double>(e.priority);
-    floor_sum += p.floor_w;
-    demand_sum += p.demand_w;
-    plans.push_back(p);
+    if (!reading || !caps) return applied;
+    e.caps = *caps;
+    double demand = std::max(reading->average_w, reading->current_w);
+    if (demand <= 0.0) demand = caps->min_cap_w;
+    demand *= static_cast<double>(e.priority);
+    live.push_back(&e);
+    demands.push_back(demand);
+    floors.push_back(caps->min_cap_w);
+    ceilings.push_back(caps->max_cap_w);
   }
-  if (total_w < floor_sum || demand_sum <= 0.0) return applied;
+  if (live.empty()) return applied;
 
-  // Every node gets its floor; the surplus is split by demand share and
-  // clamped to the node ceiling (leftover from clamping is not re-spread —
-  // the budget is a limit, not a quota).
-  const double surplus = total_w - floor_sum;
-  for (auto& p : plans) {
-    const double share = p.demand_w / demand_sum;
-    const double cap = std::min(p.floor_w + surplus * share, p.ceiling_w);
-    if (!p.entry->node->set_cap(cap)) {
+  const auto caps_w = split_budget(demands, floors, ceilings,
+                                   total_w - reserved);
+  if (caps_w.empty()) return applied;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!set_cap_recorded(*live[i], caps_w[i])) {
       applied.clear();
       return applied;
     }
-    applied.emplace_back(p.entry->node->name(), cap);
+    applied.emplace_back(live[i]->node->name(), caps_w[i]);
   }
+  group_budget_w_ = total_w;
   return applied;
 }
 
 void DataCenterManager::clear_caps() {
-  for (auto& e : nodes_) e.node->set_cap(std::nullopt);
+  for (auto& e : nodes_) set_cap_recorded(e, std::nullopt);
+  group_budget_w_.reset();
 }
 
 bool DataCenterManager::set_node_priority(const std::string& name,
@@ -154,18 +229,124 @@ bool DataCenterManager::set_cap_schedule(const std::string& name,
   return true;
 }
 
+double DataCenterManager::reserved_for(const Entry& e) const {
+  // Conservative: an unreachable BMC keeps enforcing its last cap, so that
+  // cap is the most it can draw. Without a cap, assume the last observed
+  // draw; with no observation at all, its full capability ceiling.
+  if (e.applied_cap_w) return *e.applied_cap_w;
+  if (!e.history.empty()) {
+    return std::max(e.history.back().average_w, e.history.back().current_w);
+  }
+  return e.caps.max_cap_w;
+}
+
+void DataCenterManager::rebalance_group_budget() {
+  if (!group_budget_w_) return;
+
+  std::vector<Entry*> live;
+  std::vector<double> demands, floors, ceilings;
+  double reserved = 0.0;
+  for (auto& e : nodes_) {
+    if (e.health == NodeHealth::kLost) {
+      reserved += reserved_for(e);
+      continue;
+    }
+    // Plan from cached demand and capabilities: rebalancing happens inside
+    // poll(), and issuing fresh telemetry reads over an already-unreliable
+    // wire would couple the rebalance to more failures.
+    double demand = e.caps.min_cap_w;
+    if (!e.history.empty()) {
+      demand = std::max(e.history.back().average_w,
+                        e.history.back().current_w);
+      if (demand <= 0.0) demand = e.caps.min_cap_w;
+    }
+    demand *= static_cast<double>(e.priority);
+    live.push_back(&e);
+    demands.push_back(demand);
+    floors.push_back(e.caps.min_cap_w);
+    ceilings.push_back(e.caps.max_cap_w);
+  }
+  if (live.empty()) return;
+
+  const double available = *group_budget_w_ - reserved;
+  const auto caps_w = split_budget(demands, floors, ceilings, available);
+  if (caps_w.empty()) {
+    // The remaining budget no longer covers the reachable nodes' floors.
+    // Degrade gracefully: pin every reachable node at its floor (the
+    // deepest enforceable point) and flag the shortfall.
+    alerts_.push_back(
+        {poll_seq_, "group",
+         "budget infeasible: " + watts_str(available) +
+             " W left for reachable nodes after reserving " +
+             watts_str(reserved) + " W; pinning floors"});
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      set_cap_recorded(*live[i], floors[i]);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (!set_cap_recorded(*live[i], caps_w[i])) {
+      alerts_.push_back({poll_seq_, live[i]->node->name(),
+                         "rebalance: failed to apply " +
+                             watts_str(caps_w[i]) + " W cap"});
+    }
+  }
+}
+
+void DataCenterManager::note_exchange(Entry& e, bool ok) {
+  if (ok) {
+    e.consecutive_failures = 0;
+    switch (e.health) {
+      case NodeHealth::kLost:
+        e.health = NodeHealth::kRecovered;
+        alerts_.push_back({poll_seq_, e.node->name(),
+                           "recovered: BMC reachable again; restoring group "
+                           "budget share"});
+        rebalance_group_budget();
+        break;
+      case NodeHealth::kDegraded:
+      case NodeHealth::kRecovered:
+        e.health = NodeHealth::kHealthy;
+        break;
+      case NodeHealth::kHealthy:
+        break;
+    }
+    return;
+  }
+  ++e.consecutive_failures;
+  if (e.health != NodeHealth::kLost &&
+      e.consecutive_failures >= config_.lost_after_failures) {
+    e.health = NodeHealth::kLost;
+    alerts_.push_back(
+        {poll_seq_, e.node->name(),
+         "lost: unreachable for " + std::to_string(e.consecutive_failures) +
+             " polls; reserving " + watts_str(reserved_for(e)) +
+             " W of group budget"});
+    rebalance_group_budget();
+  } else if ((e.health == NodeHealth::kHealthy ||
+              e.health == NodeHealth::kRecovered) &&
+             e.consecutive_failures >= config_.degraded_after_failures) {
+    e.health = NodeHealth::kDegraded;
+    alerts_.push_back(
+        {poll_seq_, e.node->name(),
+         "degraded: " + std::to_string(e.consecutive_failures) +
+             " consecutive failed exchanges"});
+  }
+}
+
 void DataCenterManager::poll() {
   ++poll_seq_;
   for (auto& e : nodes_) {
     // Fire any due scheduled cap changes first.
     while (e.schedule_next < e.schedule.size() &&
            e.schedule[e.schedule_next].at_poll <= poll_seq_) {
-      e.node->set_cap(e.schedule[e.schedule_next].cap_w);
+      set_cap_recorded(e, e.schedule[e.schedule_next].cap_w);
       ++e.schedule_next;
     }
   }
   for (auto& e : nodes_) {
     const auto reading = e.node->power_reading();
+    note_exchange(e, reading.has_value());
     if (!reading) continue;
     e.history.push_back({poll_seq_, reading->current_w, reading->average_w});
     while (e.history.size() > config_.history_depth) e.history.pop_front();
@@ -200,6 +381,27 @@ double DataCenterManager::total_observed_power_w() const {
     if (!e.history.empty()) total += e.history.back().current_w;
   }
   return total;
+}
+
+std::optional<NodeHealth> DataCenterManager::node_health(
+    const std::string& name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) return std::nullopt;
+  return e->health;
+}
+
+std::size_t DataCenterManager::health_count(NodeHealth health) const {
+  std::size_t n = 0;
+  for (const auto& e : nodes_) {
+    if (e.health == health) ++n;
+  }
+  return n;
+}
+
+std::optional<double> DataCenterManager::node_applied_cap(
+    const std::string& name) const {
+  const Entry* e = find(name);
+  return e ? e->applied_cap_w : std::nullopt;
 }
 
 }  // namespace pcap::core

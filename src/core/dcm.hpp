@@ -3,6 +3,16 @@
 // budgets), polls power telemetry into history, and raises alerts when an
 // enforced cap is being missed (the throttling-floor condition the paper
 // observed at 120 W).
+//
+// The management network is assumed lossy: every transaction retries with
+// exponential backoff and deterministic jitter, and each node carries a
+// health state machine (healthy -> degraded -> lost -> recovered) driven by
+// consecutive failed exchanges. When a node under a group budget goes lost,
+// its budget share is conservatively reserved (its BMC keeps enforcing the
+// last cap autonomously) and the remainder is redistributed across the
+// surviving nodes; recovery restores the full-group split. The allocation
+// invariant — sum of caps held by reachable nodes plus reservations for
+// unreachable ones never exceeds the budget — holds throughout.
 #pragma once
 
 #include <cstdint>
@@ -14,18 +24,35 @@
 
 #include "ipmi/commands.hpp"
 #include "ipmi/transport.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
 
 namespace pcap::core {
+
+/// Retry/timeout behaviour for one node's IPMI session.
+struct NodeCommsConfig {
+  util::BackoffPolicy backoff;  // see util/backoff.hpp for defaults
+  /// Per-transaction timeout handed to the ipmi::Session (0 = none).
+  double request_timeout_ms = 25.0;
+  /// Seeds the per-node jitter stream (mixed with the node name's length
+  /// and the registration order by the DCM, so nodes don't march in step).
+  std::uint64_t seed = 0x5EED;
+};
 
 /// Client-side handle to one node's BMC.
 class ManagedNode {
  public:
-  ManagedNode(std::string name, ipmi::Transport& transport)
-      : name_(std::move(name)), session_(transport) {}
+  ManagedNode(std::string name, ipmi::Transport& transport,
+              const NodeCommsConfig& comms = {})
+      : name_(std::move(name)),
+        session_(transport, comms.request_timeout_ms),
+        backoff_(comms.backoff),
+        rng_(comms.seed) {}
 
   const std::string& name() const { return name_; }
 
-  // Each call is one IPMI transaction; nullopt means the transaction failed.
+  // Each call is one logical exchange (transparently retried on transport
+  // failures); nullopt / false means every attempt failed.
   std::optional<ipmi::DeviceId> device_id();
   std::optional<ipmi::PowerReading> power_reading();
   std::optional<ipmi::Capabilities> capabilities();
@@ -33,11 +60,29 @@ class ManagedNode {
   std::optional<ipmi::ThrottleStatus> throttle_status();
   bool set_cap(std::optional<double> watts);
 
+  // --- communication accounting ---
   std::uint64_t transport_errors() const { return session_.transport_errors(); }
+  std::uint64_t timeouts() const { return session_.timeouts(); }
+  std::uint64_t stale_rejections() const { return session_.stale_rejections(); }
+  /// Retransmissions performed (attempts beyond the first).
+  std::uint64_t retries() const { return retries_; }
+  /// Exchanges that failed even after exhausting every attempt.
+  std::uint64_t failed_exchanges() const { return failed_exchanges_; }
+  /// Total modelled backoff delay spent waiting between retries.
+  double backoff_ms_total() const { return backoff_ms_total_; }
 
  private:
+  /// Issues the request, retrying transport-level failures per the backoff
+  /// policy. Semantic (completion-code) errors are returned immediately.
+  ipmi::Response transact_with_retry(const ipmi::Request& request);
+
   std::string name_;
   ipmi::Session session_;
+  util::BackoffPolicy backoff_;
+  util::Rng rng_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failed_exchanges_ = 0;
+  double backoff_ms_total_ = 0.0;
 };
 
 struct PowerSample {
@@ -52,11 +97,23 @@ struct Alert {
   std::string message;
 };
 
+/// Node reachability as seen by the DCM. `kRecovered` is the one-poll
+/// transitional state after a lost node answers again (its budget share has
+/// just been restored); the next successful poll settles it back to
+/// `kHealthy`.
+enum class NodeHealth { kHealthy, kDegraded, kLost, kRecovered };
+std::string node_health_name(NodeHealth health);
+
 struct DcmConfig {
   std::size_t history_depth = 256;
   double cap_violation_tolerance_w = 2.0;
   /// Consecutive violating polls before an alert is raised.
   std::uint32_t violation_polls = 3;
+  /// Retry/timeout behaviour applied to every node session.
+  NodeCommsConfig comms;
+  /// Consecutive failed polls before a node is marked degraded / lost.
+  std::uint32_t degraded_after_failures = 2;
+  std::uint32_t lost_after_failures = 4;
 };
 
 class DataCenterManager {
@@ -64,7 +121,8 @@ class DataCenterManager {
   explicit DataCenterManager(const DcmConfig& config = {}) : config_(config) {}
 
   /// Registers a node reachable through `transport`. Returns false if the
-  /// name is taken or the BMC does not answer a DeviceId probe.
+  /// name is taken or the BMC does not answer the discovery probes
+  /// (DeviceId + Capabilities) within the retry budget.
   bool add_node(const std::string& name, ipmi::Transport& transport);
 
   std::size_t node_count() const { return nodes_.size(); }
@@ -76,11 +134,14 @@ class DataCenterManager {
   /// or a failed transaction.
   bool apply_node_cap(const std::string& name, std::optional<double> watts);
 
-  /// Distributes a total group budget across all nodes in proportion to
-  /// their current demand (measured average power) weighted by priority,
-  /// clamped to each node's enforceable range. Returns the per-node caps
-  /// actually applied (empty on failure or if the budget is below the sum
-  /// of the nodes' floors).
+  /// Distributes a total group budget across all reachable nodes in
+  /// proportion to their current demand (measured average power) weighted
+  /// by priority, clamped to each node's enforceable range. Lost nodes are
+  /// excluded: their last-applied caps stay reserved out of the budget.
+  /// Returns the per-node caps actually applied (empty on failure or if
+  /// the budget is below the sum of the reachable nodes' floors plus the
+  /// reservations). On success the budget is remembered and automatically
+  /// rebalanced when nodes are lost or recover.
   std::vector<std::pair<std::string, double>> apply_group_cap(double total_w);
 
   /// Priority weight for group budgeting (default 1; higher = larger share
@@ -88,7 +149,7 @@ class DataCenterManager {
   bool set_node_priority(const std::string& name, int priority);
   int node_priority(const std::string& name) const;
 
-  /// Removes caps from every node.
+  /// Removes caps from every node and forgets the group budget.
   void clear_caps();
 
   /// Scheduled capping: each entry fires during the poll whose sequence
@@ -106,7 +167,8 @@ class DataCenterManager {
 
   // --- monitoring ---
   /// One monitoring sweep: reads every node's power, appends to history,
-  /// evaluates alert conditions.
+  /// updates node health (raising degraded/lost/recovered alerts and
+  /// rebalancing any group budget), evaluates cap-violation alerts.
   void poll();
 
   const std::deque<PowerSample>* history(const std::string& name) const;
@@ -116,6 +178,16 @@ class DataCenterManager {
   /// Sum of the latest current_w across nodes (0 if never polled).
   double total_observed_power_w() const;
 
+  // --- health & budget introspection ---
+  std::optional<NodeHealth> node_health(const std::string& name) const;
+  /// Nodes currently in the given state.
+  std::size_t health_count(NodeHealth health) const;
+  /// The group budget being maintained, if apply_group_cap succeeded.
+  std::optional<double> group_budget_w() const { return group_budget_w_; }
+  /// The cap this DCM last successfully applied to the node (what its BMC
+  /// is enforcing, reachable or not). nullopt = uncapped or unknown node.
+  std::optional<double> node_applied_cap(const std::string& name) const;
+
  private:
   struct Entry {
     std::unique_ptr<ManagedNode> node;
@@ -124,15 +196,31 @@ class DataCenterManager {
     std::vector<ScheduledCap> schedule;
     std::size_t schedule_next = 0;
     int priority = 1;
+    NodeHealth health = NodeHealth::kHealthy;
+    std::uint32_t consecutive_failures = 0;
+    std::optional<double> applied_cap_w;  // last cap that landed on the BMC
+    ipmi::Capabilities caps;              // cached at discovery / group apply
   };
 
   Entry* find(const std::string& name);
   const Entry* find(const std::string& name) const;
 
+  /// Applies a cap through the node handle, recording it on success.
+  bool set_cap_recorded(Entry& e, std::optional<double> watts);
+  /// Advances the health machine after one poll exchange with `e`.
+  void note_exchange(Entry& e, bool ok);
+  /// Budget a lost node is assumed to hold: its enforced cap if it has
+  /// one, else its last observed draw, else its full capability ceiling.
+  double reserved_for(const Entry& e) const;
+  /// Re-splits the remembered group budget across reachable nodes from
+  /// cached demand/capabilities (no new telemetry reads).
+  void rebalance_group_budget();
+
   DcmConfig config_;
   std::vector<Entry> nodes_;
   std::vector<Alert> alerts_;
   std::uint64_t poll_seq_ = 0;
+  std::optional<double> group_budget_w_;
 };
 
 }  // namespace pcap::core

@@ -14,9 +14,10 @@ std::uint8_t checksum(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> encode_request(const Request& request) {
   std::vector<std::uint8_t> frame;
-  frame.reserve(request.payload.size() + 5);
+  frame.reserve(request.payload.size() + 6);
   frame.push_back(static_cast<std::uint8_t>(request.netfn));
   frame.push_back(request.command);
+  frame.push_back(request.seq);
   const auto len = static_cast<std::uint16_t>(request.payload.size());
   frame.push_back(static_cast<std::uint8_t>(len & 0xFF));
   frame.push_back(static_cast<std::uint8_t>(len >> 8));
@@ -26,22 +27,24 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
 }
 
 bool decode_request(std::span<const std::uint8_t> frame, Request& out) {
-  if (frame.size() < 5) return false;
+  if (frame.size() < 6) return false;
   const std::uint16_t len =
-      static_cast<std::uint16_t>(frame[2]) |
-      static_cast<std::uint16_t>(static_cast<std::uint16_t>(frame[3]) << 8);
-  if (frame.size() != static_cast<std::size_t>(len) + 5) return false;
+      static_cast<std::uint16_t>(frame[3]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(frame[4]) << 8);
+  if (frame.size() != static_cast<std::size_t>(len) + 6) return false;
   if (checksum(frame.first(frame.size() - 1)) != frame.back()) return false;
   out.netfn = static_cast<NetFn>(frame[0]);
   out.command = frame[1];
-  out.payload.assign(frame.begin() + 4, frame.end() - 1);
+  out.seq = frame[2];
+  out.payload.assign(frame.begin() + 5, frame.end() - 1);
   return true;
 }
 
 std::vector<std::uint8_t> encode_response(const Response& response) {
   std::vector<std::uint8_t> frame;
-  frame.reserve(response.payload.size() + 4);
+  frame.reserve(response.payload.size() + 5);
   frame.push_back(static_cast<std::uint8_t>(response.code));
+  frame.push_back(response.seq);
   const auto len = static_cast<std::uint16_t>(response.payload.size());
   frame.push_back(static_cast<std::uint8_t>(len & 0xFF));
   frame.push_back(static_cast<std::uint8_t>(len >> 8));
@@ -51,14 +54,15 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
 }
 
 bool decode_response(std::span<const std::uint8_t> frame, Response& out) {
-  if (frame.size() < 4) return false;
+  if (frame.size() < 5) return false;
   const std::uint16_t len =
-      static_cast<std::uint16_t>(frame[1]) |
-      static_cast<std::uint16_t>(static_cast<std::uint16_t>(frame[2]) << 8);
-  if (frame.size() != static_cast<std::size_t>(len) + 4) return false;
+      static_cast<std::uint16_t>(frame[2]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(frame[3]) << 8);
+  if (frame.size() != static_cast<std::size_t>(len) + 5) return false;
   if (checksum(frame.first(frame.size() - 1)) != frame.back()) return false;
   out.code = static_cast<CompletionCode>(frame[0]);
-  out.payload.assign(frame.begin() + 3, frame.end() - 1);
+  out.seq = frame[1];
+  out.payload.assign(frame.begin() + 4, frame.end() - 1);
   return true;
 }
 

@@ -29,25 +29,31 @@ enum class CompletionCode : std::uint8_t {
 struct Request {
   NetFn netfn = NetFn::kGroupExt;
   std::uint8_t command = 0;
+  /// Sequence number (IPMI rqSeq): assigned by the client session, echoed
+  /// by the responder, and checked on receipt so that a duplicated or
+  /// delayed frame from an earlier transaction is rejected as stale.
+  std::uint8_t seq = 0;
   std::vector<std::uint8_t> payload;
 };
 
 struct Response {
   CompletionCode code = CompletionCode::kUnspecified;
+  /// Echo of the request's sequence number.
+  std::uint8_t seq = 0;
   std::vector<std::uint8_t> payload;
 
   bool ok() const { return code == CompletionCode::kOk; }
 };
 
-/// Frame layout: [netfn, cmd, len_lo, len_hi, payload..., checksum] where
-/// checksum is the two's complement of the byte sum (IPMI style).
+/// Frame layout: [netfn, cmd, seq, len_lo, len_hi, payload..., checksum]
+/// where checksum is the two's complement of the byte sum (IPMI style).
 std::vector<std::uint8_t> encode_request(const Request& request);
 
 /// Decodes a frame; returns false (and leaves `out` untouched) on a short
 /// frame, a length mismatch or a bad checksum.
 bool decode_request(std::span<const std::uint8_t> frame, Request& out);
 
-/// Frame layout: [code, len_lo, len_hi, payload..., checksum].
+/// Frame layout: [code, seq, len_lo, len_hi, payload..., checksum].
 std::vector<std::uint8_t> encode_response(const Response& response);
 bool decode_response(std::span<const std::uint8_t> frame, Response& out);
 

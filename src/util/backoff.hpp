@@ -1,0 +1,47 @@
+// Deterministic retry scheduling: exponential backoff with seeded jitter.
+//
+// Retrying a lossy request at a fixed period synchronises every client in
+// the fleet onto the same retry instants (retry storms); exponential growth
+// with jitter decorrelates them. All randomness comes from the caller's Rng,
+// so a fixed seed reproduces the identical schedule — the same property the
+// rest of the simulator guarantees.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace pcap::util {
+
+/// Retry schedule for a lossy request/response exchange.
+struct BackoffPolicy {
+  std::uint32_t max_attempts = 4;  // total tries, including the first
+  double base_ms = 1.0;            // nominal delay before the first retry
+  double multiplier = 2.0;         // growth per subsequent retry
+  double max_ms = 50.0;            // ceiling on any single delay
+  double jitter = 0.25;            // +/- fraction of the nominal delay
+};
+
+/// Nominal (jitter-free) delay before retry `retry` (0-based: the wait
+/// after the first failed attempt), clamped to `max_ms`.
+inline double backoff_nominal_ms(const BackoffPolicy& policy,
+                                 std::uint32_t retry) {
+  double delay = policy.base_ms;
+  for (std::uint32_t i = 0; i < retry; ++i) {
+    delay *= policy.multiplier;
+    if (delay >= policy.max_ms) break;  // already at the ceiling
+  }
+  return std::min(delay, policy.max_ms);
+}
+
+/// Jittered delay: nominal * (1 + jitter * u) with u uniform in [-1, 1).
+/// Never negative; deterministic for a fixed seed and draw sequence.
+inline double backoff_delay_ms(const BackoffPolicy& policy,
+                               std::uint32_t retry, Rng& rng) {
+  const double nominal = backoff_nominal_ms(policy, retry);
+  const double u = rng.uniform(-1.0, 1.0);
+  return std::max(0.0, nominal * (1.0 + policy.jitter * u));
+}
+
+}  // namespace pcap::util

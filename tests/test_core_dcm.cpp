@@ -223,9 +223,12 @@ TEST(DcmFaulty, SurvivesLossyManagementNetwork) {
   for (int i = 0; i < 20; ++i) dcm.poll();
   const auto* history = dcm.history("n");
   ASSERT_NE(history, nullptr);
-  EXPECT_GT(history->size(), 5u);   // most polls landed
-  EXPECT_LT(history->size(), 20u);  // some were lost
+  // Retries with backoff paper over ~44 % per-attempt loss: nearly every
+  // poll lands even though individual frames keep failing underneath.
+  EXPECT_GT(history->size(), 15u);
   EXPECT_GT(dcm.node("n")->transport_errors(), 0u);
+  EXPECT_GT(dcm.node("n")->retries(), 0u);
+  EXPECT_GT(dcm.node("n")->backoff_ms_total(), 0.0);
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ TEST(Message, ResponseRoundTrip) {
 }
 
 TEST(Message, EmptyPayloadRoundTrip) {
-  const auto frame = encode_request(Request{NetFn::kApp, 0x01, {}});
+  const auto frame = encode_request(Request{NetFn::kApp, 0x01, 0, {}});
   Request decoded;
   ASSERT_TRUE(decode_request(frame, decoded));
   EXPECT_TRUE(decoded.payload.empty());
@@ -48,21 +48,21 @@ TEST(Message, RejectsShortFrames) {
 }
 
 TEST(Message, RejectsBadChecksum) {
-  auto frame = encode_request(Request{NetFn::kApp, 0x01, {5, 6}});
+  auto frame = encode_request(Request{NetFn::kApp, 0x01, 0, {5, 6}});
   frame.back() ^= 0xFF;
   Request decoded;
   EXPECT_FALSE(decode_request(frame, decoded));
 }
 
 TEST(Message, RejectsCorruptedBody) {
-  auto frame = encode_request(Request{NetFn::kApp, 0x01, {5, 6}});
+  auto frame = encode_request(Request{NetFn::kApp, 0x01, 0, {5, 6}});
   frame[4] ^= 0x10;  // payload byte; checksum now wrong
   Request decoded;
   EXPECT_FALSE(decode_request(frame, decoded));
 }
 
 TEST(Message, RejectsLengthMismatch) {
-  auto frame = encode_request(Request{NetFn::kApp, 0x01, {5, 6, 7}});
+  auto frame = encode_request(Request{NetFn::kApp, 0x01, 0, {5, 6, 7}});
   frame.pop_back();  // drop checksum -> length no longer consistent
   Request decoded;
   EXPECT_FALSE(decode_request(frame, decoded));
@@ -189,19 +189,47 @@ TEST(Transport, LoopbackDelivers) {
   EXPECT_EQ(transport.transact(frame), frame);
 }
 
+namespace {
+
+/// A well-behaved responder: decodes the request and echoes its sequence
+/// number, the way BmcIpmiServer does.
+std::vector<std::uint8_t> echo_seq(std::span<const std::uint8_t> frame,
+                                   Response response) {
+  Request request;
+  if (!decode_request(frame, request)) return {};
+  response.seq = request.seq;
+  return encode_response(response);
+}
+
+}  // namespace
+
 TEST(Transport, SessionDecodesResponses) {
-  LoopbackTransport transport([](std::span<const std::uint8_t>) {
-    return encode_response(encode_capabilities({110.0, 400.0}));
+  LoopbackTransport transport([](std::span<const std::uint8_t> f) {
+    return echo_seq(f, encode_capabilities({110.0, 400.0}));
   });
   Session session(transport);
   const Response response = session.transact(make_get_capabilities());
   EXPECT_TRUE(response.ok());
+  EXPECT_EQ(session.last_error(), Session::Error::kNone);
   EXPECT_EQ(session.transport_errors(), 0u);
 }
 
+TEST(Transport, SessionSequenceNumbersWrapCleanly) {
+  LoopbackTransport transport([](std::span<const std::uint8_t> f) {
+    return echo_seq(f, make_ok_response());
+  });
+  Session session(transport);
+  // Run past the uint8 wrap: every exchange must still match its seq.
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(session.transact(make_get_power_reading()).ok());
+  }
+  EXPECT_EQ(session.transport_errors(), 0u);
+  EXPECT_EQ(session.stale_rejections(), 0u);
+}
+
 TEST(Transport, SessionSurvivesDropsAndCorruption) {
-  LoopbackTransport inner([](std::span<const std::uint8_t>) {
-    return encode_response(make_ok_response());
+  LoopbackTransport inner([](std::span<const std::uint8_t> f) {
+    return echo_seq(f, make_ok_response());
   });
   FaultyTransport faulty(inner, /*drop=*/0.4, /*corrupt=*/0.4, /*seed=*/3);
   Session session(faulty);

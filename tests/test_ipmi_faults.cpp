@@ -1,0 +1,364 @@
+// Fault-tolerance tests for the management plane: deterministic fault
+// injection (drop / duplicate / corrupt / latency / partition), sequence-
+// number rejection of stale frames, retry backoff schedule bounds, and the
+// DCM's node health state machine with group-budget redistribution.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/bmc.hpp"
+#include "core/bmc_ipmi_server.hpp"
+#include "core/dcm.hpp"
+#include "ipmi/commands.hpp"
+#include "ipmi/transport.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "util/backoff.hpp"
+
+namespace pcap {
+namespace {
+
+using core::DataCenterManager;
+using core::NodeHealth;
+
+/// Echoes the request's sequence number around a fixed response body, the
+/// way BmcIpmiServer does.
+ipmi::LoopbackTransport::Handler ok_responder() {
+  return [](std::span<const std::uint8_t> frame) -> std::vector<std::uint8_t> {
+    ipmi::Request request;
+    if (!ipmi::decode_request(frame, request)) return {};
+    ipmi::Response response = ipmi::make_ok_response();
+    response.seq = request.seq;
+    return ipmi::encode_response(response);
+  };
+}
+
+TEST(FaultyTransport, DeterministicUnderFixedSeed) {
+  ipmi::FaultSpec spec;
+  spec.drop_rate = 0.3;
+  spec.duplicate_rate = 0.2;
+  spec.corrupt_rate = 0.2;
+  spec.latency_jitter_ms = 4.0;
+
+  auto run = [&](std::uint64_t seed) {
+    ipmi::LoopbackTransport inner(ok_responder());
+    ipmi::FaultyTransport faulty(inner, spec, seed);
+    ipmi::Session session(faulty);
+    std::vector<int> outcomes;
+    for (int i = 0; i < 80; ++i) {
+      session.transact(ipmi::make_get_power_reading());
+      outcomes.push_back(static_cast<int>(session.last_error()));
+    }
+    return std::make_tuple(outcomes, faulty.drops(), faulty.duplicates(),
+                           faulty.corruptions());
+  };
+
+  EXPECT_EQ(run(42), run(42));  // bit-for-bit reproducible
+  EXPECT_NE(std::get<0>(run(42)), std::get<0>(run(43)));
+}
+
+TEST(FaultyTransport, DropsEverythingAtRateOne) {
+  ipmi::LoopbackTransport inner(ok_responder());
+  ipmi::FaultSpec spec;
+  spec.drop_rate = 1.0;
+  ipmi::FaultyTransport faulty(inner, spec, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(faulty.transact(std::vector<std::uint8_t>{1, 2, 3}).empty());
+  }
+  EXPECT_EQ(faulty.drops(), 10u);
+}
+
+TEST(FaultyTransport, PeriodicPartitionWindows) {
+  ipmi::LoopbackTransport inner(ok_responder());
+  ipmi::FaultSpec spec;
+  spec.partition_period = 10;
+  spec.partition_length = 3;
+  ipmi::FaultyTransport faulty(inner, spec, 1);
+  ipmi::Session session(faulty);
+  std::vector<bool> lost;
+  for (int i = 0; i < 20; ++i) {
+    session.transact(ipmi::make_get_power_reading());
+    lost.push_back(session.last_error() == ipmi::Session::Error::kLost);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(lost[static_cast<std::size_t>(i)], i % 10 < 3) << "tx " << i;
+  }
+  EXPECT_EQ(faulty.partition_drops(), 6u);
+}
+
+TEST(FaultyTransport, ScriptedPartitionAndHeal) {
+  ipmi::LoopbackTransport inner(ok_responder());
+  ipmi::FaultyTransport faulty(inner, ipmi::FaultSpec{}, 1);
+  ipmi::Session session(faulty);
+  EXPECT_TRUE(session.transact(ipmi::make_get_power_reading()).ok());
+
+  faulty.partition_for(2);
+  EXPECT_TRUE(faulty.partitioned());
+  EXPECT_FALSE(session.transact(ipmi::make_get_power_reading()).ok());
+  EXPECT_FALSE(session.transact(ipmi::make_get_power_reading()).ok());
+  EXPECT_FALSE(faulty.partitioned());  // window exhausted
+  EXPECT_TRUE(session.transact(ipmi::make_get_power_reading()).ok());
+
+  faulty.partition_for(1000);
+  EXPECT_FALSE(session.transact(ipmi::make_get_power_reading()).ok());
+  faulty.heal();
+  EXPECT_TRUE(session.transact(ipmi::make_get_power_reading()).ok());
+  EXPECT_EQ(faulty.partition_drops(), 3u);
+}
+
+TEST(FaultyTransport, DuplicateReplayRejectedBySequenceNumber) {
+  ipmi::LoopbackTransport inner(ok_responder());
+  ipmi::FaultSpec spec;
+  spec.duplicate_rate = 1.0;
+  ipmi::FaultyTransport faulty(inner, spec, 1);
+  ipmi::Session session(faulty);
+
+  // First exchange: nothing cached yet, passes through and succeeds.
+  EXPECT_TRUE(session.transact(ipmi::make_get_power_reading()).ok());
+  // Every further exchange gets the previous (seq-stale) frame replayed:
+  // well-formed, checksum-valid, but rejected by the rqSeq check.
+  for (int i = 0; i < 5; ++i) {
+    const ipmi::Response r = session.transact(ipmi::make_get_power_reading());
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(session.last_error(), ipmi::Session::Error::kStale);
+  }
+  EXPECT_EQ(session.stale_rejections(), 5u);
+  EXPECT_EQ(faulty.duplicates(), 5u);
+}
+
+TEST(FaultyTransport, CorruptionCaughtByChecksum) {
+  ipmi::LoopbackTransport inner(ok_responder());
+  ipmi::FaultSpec spec;
+  spec.corrupt_rate = 1.0;
+  ipmi::FaultyTransport faulty(inner, spec, 1);
+  ipmi::Session session(faulty);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(session.transact(ipmi::make_get_power_reading()).ok());
+    EXPECT_EQ(session.last_error(), ipmi::Session::Error::kCorrupt);
+  }
+  EXPECT_EQ(faulty.corruptions(), 5u);
+}
+
+TEST(FaultyTransport, LatencyBeyondTimeoutDiscarded) {
+  ipmi::LoopbackTransport inner(ok_responder());
+  ipmi::FaultSpec spec;
+  spec.base_latency_ms = 10.0;
+  ipmi::FaultyTransport faulty(inner, spec, 1);
+
+  ipmi::Session patient(faulty, /*timeout_ms=*/50.0);
+  EXPECT_TRUE(patient.transact(ipmi::make_get_power_reading()).ok());
+
+  ipmi::Session impatient(faulty, /*timeout_ms=*/5.0);
+  EXPECT_FALSE(impatient.transact(ipmi::make_get_power_reading()).ok());
+  EXPECT_EQ(impatient.last_error(), ipmi::Session::Error::kTimeout);
+  EXPECT_EQ(impatient.timeouts(), 1u);
+}
+
+TEST(Backoff, NominalScheduleGrowsAndSaturates) {
+  util::BackoffPolicy policy;
+  policy.base_ms = 1.0;
+  policy.multiplier = 2.0;
+  policy.max_ms = 8.0;
+  EXPECT_DOUBLE_EQ(util::backoff_nominal_ms(policy, 0), 1.0);
+  EXPECT_DOUBLE_EQ(util::backoff_nominal_ms(policy, 1), 2.0);
+  EXPECT_DOUBLE_EQ(util::backoff_nominal_ms(policy, 2), 4.0);
+  EXPECT_DOUBLE_EQ(util::backoff_nominal_ms(policy, 3), 8.0);
+  EXPECT_DOUBLE_EQ(util::backoff_nominal_ms(policy, 10), 8.0);   // saturated
+  EXPECT_DOUBLE_EQ(util::backoff_nominal_ms(policy, 200), 8.0);  // no overflow
+}
+
+TEST(Backoff, JitterBoundedAndDeterministic) {
+  util::BackoffPolicy policy;  // jitter 0.25
+  util::Rng rng_a(9), rng_b(9);
+  for (std::uint32_t retry = 0; retry < 12; ++retry) {
+    const double nominal = util::backoff_nominal_ms(policy, retry);
+    const double a = util::backoff_delay_ms(policy, retry, rng_a);
+    const double b = util::backoff_delay_ms(policy, retry, rng_b);
+    EXPECT_DOUBLE_EQ(a, b);  // same seed, same schedule
+    EXPECT_GE(a, nominal * (1.0 - policy.jitter));
+    EXPECT_LE(a, nominal * (1.0 + policy.jitter));
+  }
+}
+
+// --- DCM health machine over a real BMC stack ---
+
+struct Slot {
+  std::unique_ptr<sim::Node> node;
+  std::unique_ptr<core::Bmc> bmc;
+  std::unique_ptr<core::BmcIpmiServer> server;
+  std::unique_ptr<ipmi::LoopbackTransport> loopback;
+  std::unique_ptr<ipmi::FaultyTransport> faulty;
+
+  explicit Slot(std::uint64_t seed, const ipmi::FaultSpec& spec = {}) {
+    node = std::make_unique<sim::Node>(sim::MachineConfig::romley(), seed);
+    bmc = std::make_unique<core::Bmc>(*node);
+    server = std::make_unique<core::BmcIpmiServer>(*bmc);
+    node->set_control_hook(
+        [b = bmc.get()](sim::PlatformControl&) { b->on_control_tick(); });
+    loopback = std::make_unique<ipmi::LoopbackTransport>(
+        [s = server.get()](std::span<const std::uint8_t> frame) {
+          return s->handle_frame(frame);
+        });
+    faulty = std::make_unique<ipmi::FaultyTransport>(*loopback, spec,
+                                                     seed * 101 + 7);
+  }
+
+  void load(int phases = 4) {
+    apps::PhasedParams p;
+    p.phases = phases;
+    apps::PhasedWorkload w(p);
+    node->run(w);
+  }
+};
+
+class HealthTest : public ::testing::Test {
+ protected:
+  static constexpr double kBudgetW = 420.0;
+
+  HealthTest() {
+    for (int i = 0; i < 3; ++i) {
+      slots_.push_back(
+          std::make_unique<Slot>(static_cast<std::uint64_t>(i + 1)));
+      EXPECT_TRUE(
+          dcm_.add_node("node-" + std::to_string(i), *slots_.back()->faulty));
+    }
+    for (auto& s : slots_) s->load();
+    dcm_.poll();
+    EXPECT_EQ(dcm_.apply_group_cap(kBudgetW).size(), 3u);
+  }
+
+  /// Allocation invariant: caps held by reachable nodes plus conservative
+  /// reservations for lost ones never exceed the group budget.
+  double committed_budget_w() const {
+    double total = 0.0;
+    for (const auto& name : dcm_.node_names()) {
+      const auto cap = dcm_.node_applied_cap(name);
+      total += cap.value_or(0.0);
+    }
+    return total;
+  }
+
+  bool alert_mentions(const std::string& needle) const {
+    for (const auto& a : dcm_.alerts()) {
+      if (a.message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  DataCenterManager dcm_;
+};
+
+TEST_F(HealthTest, WalksDegradedToLostAndBack) {
+  ASSERT_EQ(dcm_.node_health("node-0"), NodeHealth::kHealthy);
+  EXPECT_FALSE(dcm_.node_health("missing").has_value());
+
+  slots_[0]->faulty->partition_for(1'000'000);
+  dcm_.poll();  // failure 1: still healthy
+  EXPECT_EQ(dcm_.node_health("node-0"), NodeHealth::kHealthy);
+  dcm_.poll();  // failure 2: degraded
+  EXPECT_EQ(dcm_.node_health("node-0"), NodeHealth::kDegraded);
+  EXPECT_TRUE(alert_mentions("degraded"));
+  dcm_.poll();
+  dcm_.poll();  // failure 4: lost
+  EXPECT_EQ(dcm_.node_health("node-0"), NodeHealth::kLost);
+  EXPECT_TRUE(alert_mentions("lost"));
+  EXPECT_EQ(dcm_.health_count(NodeHealth::kLost), 1u);
+
+  slots_[0]->faulty->heal();
+  dcm_.poll();  // success: recovered (budget share restored)
+  EXPECT_EQ(dcm_.node_health("node-0"), NodeHealth::kRecovered);
+  EXPECT_TRUE(alert_mentions("recovered"));
+  dcm_.poll();  // second success settles back to healthy
+  EXPECT_EQ(dcm_.node_health("node-0"), NodeHealth::kHealthy);
+  EXPECT_EQ(dcm_.health_count(NodeHealth::kHealthy), 3u);
+}
+
+TEST_F(HealthTest, DegradedNodeRecoversWithoutRebalance) {
+  slots_[0]->faulty->partition_for(1'000'000);
+  dcm_.poll();
+  dcm_.poll();
+  ASSERT_EQ(dcm_.node_health("node-0"), NodeHealth::kDegraded);
+  slots_[0]->faulty->heal();
+  dcm_.poll();
+  // Degraded -> healthy directly; kRecovered is only for lost nodes.
+  EXPECT_EQ(dcm_.node_health("node-0"), NodeHealth::kHealthy);
+  EXPECT_FALSE(alert_mentions("recovered"));
+}
+
+TEST_F(HealthTest, LostNodeBudgetRedistributedConservatively) {
+  const auto cap_before = dcm_.node_applied_cap("node-0");
+  ASSERT_TRUE(cap_before.has_value());
+  EXPECT_LE(committed_budget_w(), kBudgetW + 1e-6);
+
+  slots_[0]->faulty->partition_for(1'000'000);
+  for (int i = 0; i < 4; ++i) dcm_.poll();
+  ASSERT_EQ(dcm_.node_health("node-0"), NodeHealth::kLost);
+
+  // The lost node's reservation is exactly the cap its BMC still enforces;
+  // the survivors were re-planned inside budget - reservation.
+  EXPECT_EQ(dcm_.node_applied_cap("node-0"), cap_before);
+  EXPECT_LE(committed_budget_w(), kBudgetW + 1e-6);
+  double survivors = 0.0;
+  for (const auto& name : {"node-1", "node-2"}) {
+    const auto cap = dcm_.node_applied_cap(name);
+    ASSERT_TRUE(cap.has_value());
+    EXPECT_GE(*cap, 110.0);  // never below the enforceable floor
+    survivors += *cap;
+  }
+  EXPECT_LE(survivors, kBudgetW - *cap_before + 1e-6);
+
+  // Ground truth on the BMCs matches the DCM's book-keeping.
+  ASSERT_TRUE(slots_[1]->bmc->cap().has_value());
+  EXPECT_DOUBLE_EQ(*slots_[1]->bmc->cap(), *dcm_.node_applied_cap("node-1"));
+
+  slots_[0]->faulty->heal();
+  dcm_.poll();  // recovery rebalances across all three again
+  EXPECT_EQ(dcm_.node_health("node-0"), NodeHealth::kRecovered);
+  EXPECT_LE(committed_budget_w(), kBudgetW + 1e-6);
+  // The recovered node is being capped again (restoration happened).
+  ASSERT_TRUE(slots_[0]->bmc->cap().has_value());
+  EXPECT_DOUBLE_EQ(*slots_[0]->bmc->cap(), *dcm_.node_applied_cap("node-0"));
+}
+
+TEST_F(HealthTest, GroupCapSkipsLostNodes) {
+  slots_[0]->faulty->partition_for(1'000'000);
+  for (int i = 0; i < 4; ++i) dcm_.poll();
+  ASSERT_EQ(dcm_.node_health("node-0"), NodeHealth::kLost);
+
+  // Re-issuing the group policy plans only the reachable nodes.
+  const auto applied = dcm_.apply_group_cap(kBudgetW);
+  ASSERT_EQ(applied.size(), 2u);
+  for (const auto& [name, cap] : applied) {
+    EXPECT_NE(name, "node-0");
+    EXPECT_GE(cap, 110.0);
+  }
+  EXPECT_LE(committed_budget_w(), kBudgetW + 1e-6);
+}
+
+TEST(DcmRetry, ManagedNodeRetriesThroughHeavyLoss) {
+  Slot slot(5);
+  ipmi::FaultSpec spec;
+  spec.drop_rate = 0.35;
+  spec.duplicate_rate = 0.1;
+  spec.corrupt_rate = 0.15;
+  ipmi::FaultyTransport faulty(*slot.loopback, spec, 17);
+
+  core::DcmConfig config;
+  config.comms.backoff.max_attempts = 6;
+  DataCenterManager dcm(config);
+  bool added = false;
+  for (int i = 0; i < 10 && !added; ++i) added = dcm.add_node("n", faulty);
+  ASSERT_TRUE(added);
+  for (int i = 0; i < 15; ++i) dcm.poll();
+  ASSERT_NE(dcm.history("n"), nullptr);
+  EXPECT_GT(dcm.history("n")->size(), 12u);  // retries hide ~50 % loss
+  EXPECT_GT(dcm.node("n")->retries(), 0u);
+  EXPECT_GT(dcm.node("n")->stale_rejections(), 0u);
+  EXPECT_GT(dcm.node("n")->backoff_ms_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcap
