@@ -58,6 +58,16 @@ void BM_TlbLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_TlbLookup);
 
+void BM_TlbHit(benchmark::State& state) {
+  cache::Tlb tlb({.name = "DTLB", .entries = 64});
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.lookup((page & 3) << 12));
+    ++page;
+  }
+}
+BENCHMARK(BM_TlbHit);
+
 void BM_DramAccess(benchmark::State& state) {
   mem::Dram dram(mem::DramConfig{});
   std::uint64_t addr = 0;
@@ -91,6 +101,49 @@ void BM_ContextLoad(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContextLoad);
+
+// Batched stream cases: each iteration simulates a whole regular access
+// stream, so per-iteration time is comparable between the per-access loop
+// (baseline) and the batched access_stream/load_stream implementations.
+constexpr std::uint64_t kStreamCount = 4096;
+
+void BM_HierarchyStream(benchmark::State& state) {
+  pmu::CounterBank bank;
+  sim::MemoryHierarchy hierarchy(sim::MachineConfig::romley().hierarchy, bank);
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hierarchy.access_stream(base, 8, kStreamCount, sim::AccessType::kLoad)
+            .cycles);
+    base += kStreamCount * 8;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kStreamCount));
+}
+BENCHMARK(BM_HierarchyStream);
+
+void BM_ContextStreamLoad(benchmark::State& state) {
+  sim::Node node(sim::MachineConfig::romley());
+  sim::ExecutionContext ctx(node);
+  // 16 KB hot buffer: L1-resident, so the stream is hit-dominated.
+  const sim::Address base = ctx.alloc(16 * 1024);
+  for (auto _ : state) {
+    ctx.load_stream(base, 8, 2048);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_ContextStreamLoad);
+
+void BM_ContextRmw(benchmark::State& state) {
+  sim::Node node(sim::MachineConfig::romley());
+  sim::ExecutionContext ctx(node);
+  const sim::Address base = ctx.alloc(16 * 1024);
+  for (auto _ : state) {
+    ctx.rmw_stream(base, 8, 1024, 2);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ContextRmw);
 
 void BM_PowerModel(benchmark::State& state) {
   power::NodePowerModel model{power::NodePowerConfig{}};

@@ -47,10 +47,18 @@ void gemm_blocked(Machine& m, int n, const float* a, const float* b, float* c,
                 c[static_cast<std::size_t>(i) * n + j + l] +=
                     aik * b[static_cast<std::size_t>(k) * n + j + l];
               }
-              m.load(b_addr + (static_cast<std::size_t>(k) * n + j) * 4);
-              m.store(c_addr + (static_cast<std::size_t>(i) * n + j) * 4);
-              m.compute(8);  // 4 FMAs + address math
             }
+            // Narration: per 4-wide vector step, {load B row slice, store C
+            // row slice, 4 FMAs + address math} — a 16 B-stride stream.
+            const StreamOp ops[2] = {
+                {.kind = StreamOp::Kind::kLoad,
+                 .base = b_addr + (static_cast<std::size_t>(k) * n + jj) * 4},
+                {.kind = StreamOp::Kind::kStore,
+                 .base = c_addr + (static_cast<std::size_t>(i) * n + jj) * 4},
+            };
+            m.pattern_stream(ops, /*stride=*/16,
+                             static_cast<std::uint64_t>(j_end - jj + 3) / 4,
+                             /*uops=*/8);
           }
         }
       }
@@ -85,6 +93,8 @@ std::vector<float> jacobi_stencil(Machine& m, int width, int height, int iters,
   std::vector<float> next(grid.size());
   Address src_addr = a_addr;
   Address dst_addr = b_addr;
+  const std::size_t cells =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
   for (int it = 0; it < iters; ++it) {
     for (int y = 0; y < height; ++y) {
       for (int x = 0; x < width; ++x) {
@@ -96,14 +106,17 @@ std::vector<float> jacobi_stencil(Machine& m, int width, int height, int iters,
                              grid[i - static_cast<std::size_t>(width)] +
                              grid[i + static_cast<std::size_t>(width)]);
         }
-        if (i % 4 == 0) {
-          m.load(src_addr + i * 4);
-          m.load(src_addr + (i + static_cast<std::size_t>(width)) * 4);
-          m.store(dst_addr + i * 4);
-          m.compute(6);
-        }
       }
     }
+    // Narration per sweep: one {load row, load row below, store dst, 6
+    // uops} vector op per 4 cells, streaming both grids at 16 B stride.
+    const StreamOp ops[3] = {
+        {.kind = StreamOp::Kind::kLoad, .base = src_addr},
+        {.kind = StreamOp::Kind::kLoad,
+         .base = src_addr + static_cast<Address>(width) * 4},
+        {.kind = StreamOp::Kind::kStore, .base = dst_addr},
+    };
+    m.pattern_stream(ops, /*stride=*/16, (cells + 3) / 4, /*uops=*/6);
     grid.swap(next);
     std::swap(src_addr, dst_addr);
   }
@@ -164,13 +177,19 @@ void fft_radix2(Machine& m, std::vector<std::complex<float>>& data,
         data[u_i] = u + v;
         data[v_i] = u - v;
         w *= wl;
-        if (k % 4 == 0) {
-          m.load(addr + u_i * sizeof(std::complex<float>));
-          m.load(addr + v_i * sizeof(std::complex<float>));
-          m.store(addr + v_i * sizeof(std::complex<float>));
-          m.compute(14);
-        }
       }
+      // Narration: one {load u, load v, store v, 14 uops} butterfly vector
+      // op per 4 k's — two interleaved 32 B-stride streams len/2 apart.
+      const StreamOp ops[3] = {
+          {.kind = StreamOp::Kind::kLoad,
+           .base = addr + i * sizeof(std::complex<float>)},
+          {.kind = StreamOp::Kind::kLoad,
+           .base = addr + (i + len / 2) * sizeof(std::complex<float>)},
+          {.kind = StreamOp::Kind::kStore,
+           .base = addr + (i + len / 2) * sizeof(std::complex<float>)},
+      };
+      m.pattern_stream(ops, /*stride=*/4 * sizeof(std::complex<float>),
+                       (len / 2 + 3) / 4, /*uops=*/14);
     }
   }
   if (inverse) {

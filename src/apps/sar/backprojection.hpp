@@ -135,13 +135,16 @@ void min_combine(Machine& m, std::span<float> running,
   const std::size_t n = running.size();
   for (std::size_t p = 0; p < n; ++p) {
     if (candidate[p] < running[p]) running[p] = candidate[p];
-    if (p % 4 == 0) {
-      m.load(running_addr + p * sizeof(float));
-      m.load(candidate_addr + p * sizeof(float));
-      m.store(running_addr + p * sizeof(float));
-      m.compute(3);
-    }
   }
+  // Narration: one {load running, load candidate, store running, 3 uops}
+  // vector op per 4 elements, a regular 16 B-stride stream.
+  const StreamOp ops[3] = {
+      {.kind = StreamOp::Kind::kLoad, .base = running_addr},
+      {.kind = StreamOp::Kind::kLoad, .base = candidate_addr},
+      {.kind = StreamOp::Kind::kStore, .base = running_addr},
+  };
+  m.pattern_stream(ops, /*stride=*/4 * sizeof(float), (n + 3) / 4,
+                   /*uops=*/3);
 }
 
 }  // namespace pcap::apps::sar

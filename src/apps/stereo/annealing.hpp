@@ -51,6 +51,13 @@ std::vector<std::uint8_t> wta_init(Machine& m, const CostVolume& vol,
                                    Address volume_addr) {
   std::vector<std::uint8_t> disparity(
       static_cast<std::size_t>(vol.width) * vol.height, 0);
+  // Narration per pixel: the cost scan is one load per 4 disparities — a
+  // contiguous 8 B-stride stream over the pixel's cost row — then the
+  // comparison arithmetic.
+  const std::uint64_t scan_loads =
+      vol.disparities > 0
+          ? static_cast<std::uint64_t>(vol.disparities - 1) / 4
+          : 0;
   for (int y = 0; y < vol.height; ++y) {
     for (int x = 0; x < vol.width; ++x) {
       std::uint16_t best = vol.at(x, y, 0);
@@ -61,10 +68,13 @@ std::vector<std::uint8_t> wta_init(Machine& m, const CostVolume& vol,
           best = c;
           best_d = d;
         }
-        if (d % 4 == 0) m.load(volume_addr + vol.index(x, y, d) * 2);
       }
       disparity[static_cast<std::size_t>(y) * vol.width + x] =
           static_cast<std::uint8_t>(best_d);
+      if (scan_loads != 0) {
+        m.load_stream(volume_addr + vol.index(x, y, 4) * 2, /*stride=*/8,
+                      scan_loads);
+      }
       m.compute(static_cast<std::uint64_t>(vol.disparities) * 2);
     }
   }

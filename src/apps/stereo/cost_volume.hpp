@@ -72,13 +72,16 @@ CostVolume build_cost_volume(Machine& m, const StereoPair& pair, int window,
           v = e * e;
         }
         diff[i] = v;
-        if (i % 4 == 0) {
-          m.load(left_addr + i * sizeof(float));
-          m.load(right_addr + i * sizeof(float));
-          m.compute(8);
-        }
       }
     }
+    // Narration: one {load left, load right, 8 uops} vector op per 4
+    // pixels — `i` walks the plane linearly, a regular 16 B-stride stream.
+    const StreamOp diff_ops[2] = {
+        {.kind = StreamOp::Kind::kLoad, .base = left_addr},
+        {.kind = StreamOp::Kind::kLoad, .base = right_addr},
+    };
+    m.pattern_stream(diff_ops, /*stride=*/4 * sizeof(float),
+                     (pair.pixels() + 3) / 4, /*uops=*/8);
     // Separable box sum: horizontal then vertical (host arithmetic; the
     // streaming passes are narrated as compute per row).
     for (int y = 0; y < h; ++y) {

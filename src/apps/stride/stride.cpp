@@ -107,20 +107,15 @@ void StrideWorkload::run(sim::ExecutionContext& ctx) {
       const std::uint64_t reps =
           std::max<std::uint64_t>(1, config_.touches_per_cell / walk);
       // Untimed warmup pass so the timed passes measure the steady state
-      // (the published curves are steady-state plateaus).
-      for (std::uint64_t offset = 0; offset < array; offset += stride) {
-        ctx.load(base + offset);
-        ctx.store(base + offset);
-        ctx.compute(2);
-      }
+      // (the published curves are steady-state plateaus). Each element is
+      // x[i]++ — one load and one store of the element plus the increment —
+      // batched through the stream API.
+      ctx.rmw_stream(base, static_cast<std::int64_t>(stride), walk,
+                     /*uops=*/2);
       const util::Picoseconds start = ctx.now();
       for (std::uint64_t r = 0; r < reps; ++r) {
-        for (std::uint64_t offset = 0; offset < array; offset += stride) {
-          // x[i]++: one load and one store of the same element.
-          ctx.load(base + offset);
-          ctx.store(base + offset);
-          ctx.compute(2);
-        }
+        ctx.rmw_stream(base, static_cast<std::int64_t>(stride), walk,
+                       /*uops=*/2);
       }
       const util::Picoseconds elapsed = ctx.now() - start;
       StrideCell cell;

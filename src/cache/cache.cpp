@@ -25,6 +25,27 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   line_mask_ = config.line_bytes - 1;
   active_ways_ = config.ways;
   lines_.resize(sets_ * config.ways);
+  mru_way_.assign(sets_, 0);
+}
+
+bool Cache::is_mru_hit(Address addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint32_t w = mru_way_[set];
+  if (w >= active_ways_) return false;
+  const Line& line = lines_[set * config_.ways + w];
+  return line.valid && line.age == 0 && line.tag == tag_of(addr);
+}
+
+bool Cache::note_mru_hits(Address addr, bool is_write, std::uint64_t n) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint32_t w = mru_way_[set];
+  if (w >= active_ways_) return false;
+  Line& line = lines_[set * config_.ways + w];
+  if (!line.valid || line.age != 0 || line.tag != tag_of(addr)) return false;
+  stats_.accesses += n;
+  stats_.hits += n;
+  if (is_write && n != 0) line.dirty = true;
+  return true;
 }
 
 Cache::Line* Cache::find(Address addr) {
@@ -56,9 +77,20 @@ AccessOutcome Cache::access(Address addr, bool is_write) {
   const Address tag = tag_of(addr);
   Line* base = &lines_[set * config_.ways];
 
+  // Fast path: repeat hit on the set's MRU line. touch() would be a no-op
+  // (every other line is already older), so skip the scan and aging walk.
+  const std::uint32_t hint = mru_way_[set];
+  if (hint < active_ways_ && base[hint].valid && base[hint].age == 0 &&
+      base[hint].tag == tag) {
+    if (is_write) base[hint].dirty = true;
+    ++stats_.hits;
+    return {.hit = true, .evicted_line = std::nullopt, .evicted_dirty = false};
+  }
+
   for (std::uint32_t w = 0; w < active_ways_; ++w) {
     if (base[w].valid && base[w].tag == tag) {
       touch(set, w);
+      mru_way_[set] = w;
       if (is_write) base[w].dirty = true;
       ++stats_.hits;
       return {.hit = true, .evicted_line = std::nullopt, .evicted_dirty = false};
@@ -99,6 +131,7 @@ AccessOutcome Cache::access(Address addr, bool is_write) {
   base[victim].valid = true;
   base[victim].dirty = is_write;
   base[victim].age = 0;
+  mru_way_[set] = victim;
   return outcome;
 }
 

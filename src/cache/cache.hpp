@@ -63,6 +63,18 @@ class Cache {
   /// if write_allocate). Returns the outcome including any eviction.
   AccessOutcome access(Address addr, bool is_write);
 
+  /// True when the line holding `addr` is resident in an active way and is
+  /// its set's most-recently-used line, i.e. another access would be a pure
+  /// hit whose LRU touch is a no-op. No state or statistics change.
+  bool is_mru_hit(Address addr) const;
+
+  /// Accounts `n` repeat hits on the MRU line holding `addr` without
+  /// re-walking the set: by definition the LRU state cannot change, so only
+  /// statistics (and the dirty bit for writes) move. Verifies the MRU
+  /// precondition itself and returns false having accounted nothing if it
+  /// does not hold — callers then fall back to access().
+  bool note_mru_hits(Address addr, bool is_write, std::uint64_t n);
+
   /// True if the line containing addr is present (no LRU update).
   bool contains(Address addr) const;
 
@@ -118,6 +130,9 @@ class Cache {
   std::uint64_t line_mask_ = 0;
   std::uint32_t active_ways_ = 0;
   std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  // Per-set hint: the way of the last hit or fill. Purely an accelerator —
+  // a stale hint is caught by the validity/tag/age checks, never trusted.
+  std::vector<std::uint32_t> mru_way_;
   CacheStats stats_;
 };
 

@@ -17,7 +17,40 @@ Tlb::Tlb(const TlbConfig& config) : config_(config) {
   entries_.resize(config.entries);
 }
 
+void Tlb::promote(std::uint32_t idx) {
+  if (mru_[0] == idx) return;
+  std::uint32_t prev = mru_[0];
+  mru_[0] = idx;
+  for (std::size_t s = 1; s < mru_.size(); ++s) {
+    const std::uint32_t cur = mru_[s];
+    mru_[s] = prev;
+    if (cur == idx) break;
+    prev = cur;
+  }
+}
+
+bool Tlb::note_hits(std::uint64_t vaddr, std::uint64_t n) {
+  if (n == 0) return false;
+  const std::uint64_t page = page_of(vaddr);
+  for (std::size_t s = 0; s < mru_.size(); ++s) {
+    const std::uint32_t idx = mru_[s];
+    if (idx >= active_entries_) continue;
+    Entry& e = entries_[idx];
+    if (!e.valid || e.page != page) continue;
+    // n consecutive hits: each bumps the clock and stamps this entry; only
+    // the final stamp survives, so the bulk form is exact.
+    stats_.accesses += n;
+    tick_ += n;
+    e.last_use = tick_;
+    if (s != 0) promote(idx);
+    return true;
+  }
+  return false;
+}
+
 bool Tlb::lookup(std::uint64_t vaddr) {
+  if (note_hits(vaddr, 1)) return true;
+
   ++stats_.accesses;
   ++tick_;
   const std::uint64_t page = page_of(vaddr);
@@ -27,6 +60,7 @@ bool Tlb::lookup(std::uint64_t vaddr) {
     Entry& e = entries_[i];
     if (e.valid && e.page == page) {
       e.last_use = tick_;
+      promote(i);
       return true;
     }
     if (!e.valid) {
@@ -40,6 +74,7 @@ bool Tlb::lookup(std::uint64_t vaddr) {
   lru->page = page;
   lru->valid = true;
   lru->last_use = tick_;
+  promote(static_cast<std::uint32_t>(lru - entries_.data()));
   return false;
 }
 

@@ -3,6 +3,7 @@
 // instruction-TLB miss explosions at low power caps).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +39,13 @@ class Tlb {
   /// the translation is installed (evicting the LRU entry if full).
   bool lookup(std::uint64_t vaddr);
 
+  /// Fast-path bulk hit: when the page of `vaddr` is mapped by one of the
+  /// recently-used entries, accounts `n` back-to-back hits (statistics,
+  /// logical clock, entry recency) exactly as `n` lookup() calls would and
+  /// returns true. Otherwise accounts nothing and returns false — the
+  /// caller falls back to lookup().
+  bool note_hits(std::uint64_t vaddr, std::uint64_t n = 1);
+
   /// True if the page is currently cached (no LRU update).
   bool contains(std::uint64_t vaddr) const;
 
@@ -65,12 +73,16 @@ class Tlb {
   std::uint64_t page_of(std::uint64_t vaddr) const {
     return vaddr >> page_shift_;
   }
+  void promote(std::uint32_t idx);
 
   TlbConfig config_;
   std::uint32_t page_shift_ = 12;
   std::uint32_t active_entries_ = 0;
   std::uint64_t tick_ = 0;
   std::vector<Entry> entries_;
+  // Indices of the most recently hit/installed entries, most recent first.
+  // Purely an accelerator: stale indices are re-validated before use.
+  std::array<std::uint32_t, 4> mru_{};
   TlbStats stats_;
 };
 

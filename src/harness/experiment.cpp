@@ -62,21 +62,10 @@ StudyResult run_power_cap_study(const std::string& workload_name,
   result.workload = workload_name;
   result.capped.resize(config.caps_w.size());
 
-  if (config.jobs <= 1) {
-    sim::Node node(config.machine, config.seed);
-    core::CappedRunner runner(node, config.bmc);
-    const std::unique_ptr<sim::Workload> workload = factory();
-    result.baseline =
-        run_cell(runner, *workload, std::nullopt, config.repetitions);
-    for (std::size_t i = 0; i < config.caps_w.size(); ++i) {
-      result.capped[i] = run_cell(runner, *workload, config.caps_w[i],
-                                  config.repetitions);
-    }
-    return result;
-  }
-
-  // Parallel: cell 0 is the baseline, cells 1.. are the caps; each cell owns
-  // an independent node + workload (identical seeds, so identical streams).
+  // Cell 0 is the baseline, cells 1.. are the caps. Every cell owns an
+  // independent node + workload built from identical seeds, whether the
+  // cells run inline (jobs <= 1) or on a pool — so a study's result is
+  // bit-identical for any `jobs` value (tests/test_batch_equivalence.cpp).
   const std::size_t cells = config.caps_w.size() + 1;
   std::vector<CellStats> computed(cells);
   util::parallel_for(cells, config.jobs, [&](std::size_t i) {

@@ -39,6 +39,21 @@ class CoreModel {
   /// Accounts one committed load/store whose hierarchy cost is `lat`.
   void memory_op(const AccessLatency& lat, bool is_store);
 
+  /// Bit-identical to `n` memory_op(lat, is_store) calls: integer counters
+  /// are added in bulk, while the per-op floating-point sequence (duty
+  /// carry, branch/mispredict carries) is replayed exactly so the
+  /// picosecond clock matches the per-op path to the last bit.
+  void memory_op_repeat(const AccessLatency& lat, bool is_store,
+                        std::uint64_t n);
+
+  /// Bit-identical to `n` repetitions of the element sequence
+  /// memory_op(load_lat, false); memory_op(store_lat, true);
+  /// compute(uops) [when uops != 0] — the read-modify-write inner loop.
+  /// Integer counters are added in bulk; the per-op floating-point state
+  /// (duty, cycle, branch, mispredict carries) is replayed in order.
+  void rmw_repeat(const AccessLatency& load_lat, const AccessLatency& store_lat,
+                  std::uint64_t uops, std::uint64_t n);
+
   /// Accounts one instruction fetch (not a committed instruction); only the
   /// portion of the latency beyond an L1I hit stalls the front end.
   void fetch_op(const AccessLatency& lat, std::uint32_t l1_hit_cycles);
@@ -60,6 +75,15 @@ class CoreModel {
 
   /// Branch/mispredict accounting for `uops` of committed work.
   void speculate(std::uint64_t uops);
+
+  /// Advances the clock by a pre-divided duty-scaled cost, reproducing
+  /// charge()'s exact float sequence fl(fl(per) + carry).
+  void advance_scaled(double per_ps) {
+    const double scaled = per_ps + time_carry_ps_;
+    const auto whole = static_cast<util::Picoseconds>(scaled);
+    time_carry_ps_ = scaled - static_cast<double>(whole);
+    now_ += whole;
+  }
 
   CoreTimingConfig config_;
   const power::PStateTable* pstates_;

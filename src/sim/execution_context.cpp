@@ -23,7 +23,9 @@ ExecutionContext::ExecutionContext(MemoryHierarchy& hierarchy, CoreModel& core,
       fetch_ptr_(code_base_),
       ins_per_fetch_(config.core.ins_per_fetch),
       line_bytes_(config.hierarchy.l1i.line_bytes),
-      l1_hit_cycles_(config.hierarchy.l1_hit_cycles) {}
+      data_line_bytes_(config.hierarchy.l1d.line_bytes),
+      l1_hit_cycles_(config.hierarchy.l1_hit_cycles),
+      mispredict_penalty_cycles_(config.core.mispredict_penalty_cycles) {}
 
 ExecutionContext::ExecutionContext(Node& node)
     : ExecutionContext(node.hierarchy(), node.core(), node, node.config()) {}
@@ -78,6 +80,202 @@ void ExecutionContext::compute(std::uint64_t uops) {
   core_->compute(uops);
   retire_fetches(uops);
   sink_->on_op();
+}
+
+namespace {
+// How many of addr+stride, addr+2*stride, ... (at most `remaining`) stay on
+// the cache line holding addr.
+std::uint64_t same_line_run(Address addr, std::int64_t stride,
+                            std::uint64_t remaining,
+                            std::uint32_t line_bytes) {
+  if (remaining == 0) return 0;
+  if (stride == 0) return remaining;
+  const Address offset = addr & (line_bytes - 1);
+  std::uint64_t room;
+  if (stride > 0) {
+    room = (line_bytes - 1 - offset) / static_cast<std::uint64_t>(stride);
+  } else {
+    room = offset / static_cast<std::uint64_t>(-stride);
+  }
+  return room < remaining ? room : remaining;
+}
+}  // namespace
+
+void ExecutionContext::unit_stream(Address base, std::int64_t stride,
+                                   std::uint64_t count, bool is_store) {
+  const AccessType type = is_store ? AccessType::kStore : AccessType::kLoad;
+  Address addr = base;
+  std::uint64_t i = 0;
+  while (i < count) {
+    // Lead op of each line: the full-fidelity path (may miss anywhere).
+    if (is_store) {
+      store(addr);
+    } else {
+      load(addr);
+    }
+    ++i;
+    std::uint64_t run = same_line_run(addr, stride, count - i,
+                                      data_line_bytes_);
+    addr += static_cast<Address>(stride);
+    while (run > 0) {
+      // A bulk sub-run may elide per-op sink calls only while every op is
+      // guaranteed to finish before the sink's horizon, and must stop at
+      // the next I-fetch boundary so fetches fire in their exact slots.
+      const util::Picoseconds horizon = sink_->op_horizon();
+      const util::Picoseconds now = core_->now();
+      std::uint64_t n = 0;
+      if (horizon > now) {
+        // Conservative per-op time bound: an L1 hit plus a possible
+        // mispredict penalty, duty-inflated, rounded up.
+        const util::Picoseconds period =
+            util::cycle_period(core_->frequency());
+        const auto ub_ps =
+            static_cast<util::Picoseconds>(
+                static_cast<double>(
+                    (l1_hit_cycles_ + mispredict_penalty_cycles_) * period) /
+                core_->duty()) +
+            3;
+        n = (horizon - now) / ub_ps;
+      }
+      const std::uint64_t to_fetch = ins_per_fetch_ - fetch_accum_;
+      if (n > to_fetch) n = to_fetch;
+      if (n > run) n = run;
+      AccessLatency rep;
+      if (n < 2 || !hierarchy_->try_fast_repeat(addr, type, n, rep)) {
+        // Horizon too close, fetch due, or no provable hit: one op at full
+        // fidelity, then retry the remainder of the run.
+        if (is_store) {
+          store(addr);
+        } else {
+          load(addr);
+        }
+        ++i;
+        --run;
+        addr += static_cast<Address>(stride);
+        continue;
+      }
+      core_->memory_op_repeat(rep, is_store, n);
+      retire_fetches(n);
+      sink_->on_op();
+      i += n;
+      run -= n;
+      addr += static_cast<Address>(stride) * n;
+    }
+  }
+}
+
+void ExecutionContext::load_stream(Address base, std::int64_t stride,
+                                   std::uint64_t count) {
+  unit_stream(base, stride, count, /*is_store=*/false);
+}
+
+void ExecutionContext::store_stream(Address base, std::int64_t stride,
+                                    std::uint64_t count) {
+  unit_stream(base, stride, count, /*is_store=*/true);
+}
+
+void ExecutionContext::pattern_stream(std::span<const StreamOp> ops,
+                                      std::int64_t stride, std::uint64_t count,
+                                      std::uint64_t uops) {
+  if (ops.size() == 1 && uops == 0) {
+    unit_stream(ops[0].base, stride, count,
+                ops[0].kind == StreamOp::Kind::kStore);
+    return;
+  }
+  Address offset = 0;
+  for (std::uint64_t k = 0; k < count;
+       ++k, offset += static_cast<Address>(stride)) {
+    // The sink call is elided while the clock provably stays below the
+    // horizon (on_op() would be a no-op there); once an op reaches it, the
+    // call happens in exactly the per-op slot it would have originally.
+    util::Picoseconds horizon = sink_->op_horizon();
+    for (const StreamOp& op : ops) {
+      const bool is_store = op.kind == StreamOp::Kind::kStore;
+      const AccessLatency lat = hierarchy_->access(
+          op.base + offset, is_store ? AccessType::kStore : AccessType::kLoad);
+      core_->memory_op(lat, is_store);
+      retire_fetches(1);
+      if (core_->now() >= horizon) {
+        sink_->on_op();
+        horizon = 0;  // a tick may have moved it; stay exact for the rest
+      }
+    }
+    if (uops != 0) {
+      core_->compute(uops);
+      retire_fetches(uops);
+      if (core_->now() >= horizon) sink_->on_op();
+    }
+  }
+}
+
+void ExecutionContext::rmw_stream(Address base, std::int64_t stride,
+                                  std::uint64_t count, std::uint64_t uops) {
+  // Per element: load(addr); store(addr); compute(uops) when uops != 0.
+  // Elements whose address stays on one line bulk through rmw_repeat under
+  // the same constraints as unit_stream: no I-fetch may fire inside a bulk
+  // group (so groups span at most ins_per_fetch_ committed instructions)
+  // and every elided sink call must provably be a no-op (horizon bound).
+  const std::uint64_t ins_per_elem = 2 + uops;
+  Address addr = base;
+  std::uint64_t k = 0;
+  while (k < count) {
+    load(addr);
+    store(addr);
+    if (uops != 0) compute(uops);
+    ++k;
+    std::uint64_t run = same_line_run(addr, stride, count - k,
+                                      data_line_bytes_);
+    addr += static_cast<Address>(stride);
+    while (run > 0) {
+      const util::Picoseconds horizon = sink_->op_horizon();
+      const util::Picoseconds now = core_->now();
+      std::uint64_t n = 0;
+      if (horizon > now) {
+        // Conservative per-element bound: two L1 hits, the compute cycles,
+        // and a mispredict penalty for every committed instruction.
+        const util::Picoseconds period =
+            util::cycle_period(core_->frequency());
+        const double cycles_ub =
+            2.0 * l1_hit_cycles_ +
+            static_cast<double>(uops) / core_->config().base_ipc + 1.0 +
+            static_cast<double>((2 + uops) * mispredict_penalty_cycles_);
+        const auto ub_ps = static_cast<util::Picoseconds>(
+                               cycles_ub * static_cast<double>(period) /
+                               core_->duty()) +
+                           8;
+        n = (horizon - now) / ub_ps;
+      }
+      const std::uint64_t fit =
+          (ins_per_fetch_ - fetch_accum_) / ins_per_elem;
+      if (n > fit) n = fit;
+      if (n > run) n = run;
+      AccessLatency load_lat;
+      if (n < 2 ||
+          !hierarchy_->try_fast_repeat(addr, AccessType::kLoad, n, load_lat)) {
+        load(addr);
+        store(addr);
+        if (uops != 0) compute(uops);
+        ++k;
+        --run;
+        addr += static_cast<Address>(stride);
+        continue;
+      }
+      // The stores target the line the loads just proved MRU-resident, so
+      // this cannot fail and the pair accounts exactly like the interleaved
+      // per-op sequence (all hierarchy-level accounting is commutative
+      // integer arithmetic).
+      AccessLatency store_lat;
+      const bool ok =
+          hierarchy_->try_fast_repeat(addr, AccessType::kStore, n, store_lat);
+      (void)ok;
+      core_->rmw_repeat(load_lat, store_lat, uops, n);
+      retire_fetches(n * ins_per_elem);
+      sink_->on_op();
+      k += n;
+      run -= n;
+      addr += static_cast<Address>(stride) * n;
+    }
+  }
 }
 
 }  // namespace pcap::sim

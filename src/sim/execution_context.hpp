@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "sim/core_model.hpp"
@@ -26,6 +27,13 @@ class TickSink {
  public:
   virtual ~TickSink() = default;
   virtual void on_op() = 0;
+
+  /// Simulated time strictly before which on_op() is guaranteed to be a
+  /// no-op. Batched streams may elide the per-op sink call for operations
+  /// that complete before this horizon, calling on_op() only once the clock
+  /// reaches or passes it. 0 (the default) promises nothing: every
+  /// operation then gets its on_op() call.
+  virtual util::Picoseconds op_horizon() const { return 0; }
 };
 
 class ExecutionContext {
@@ -56,6 +64,32 @@ class ExecutionContext {
   /// `uops` committed arithmetic micro-ops.
   void compute(std::uint64_t uops);
 
+  /// One memory reference of a batched access pattern (pattern_stream).
+  struct StreamOp {
+    enum class Kind : std::uint8_t { kLoad, kStore };
+    Kind kind = Kind::kLoad;
+    Address base = 0;
+  };
+
+  // --- batched streams ---
+  // Each call is bit-identical — PMU counters, structural cache/TLB state,
+  // and the picosecond clock — to the equivalent per-operation loop; only
+  // simulator wall time changes (tests/test_batch_equivalence.cpp). Regular
+  // same-line runs are accounted analytically instead of being replayed.
+
+  /// `count` loads at base, base+stride, base+2*stride, ...
+  void load_stream(Address base, std::int64_t stride, std::uint64_t count);
+  /// `count` stores at base, base+stride, base+2*stride, ...
+  void store_stream(Address base, std::int64_t stride, std::uint64_t count);
+  /// Per element k in [0, count): load then store of base + k*stride,
+  /// then compute(uops) when uops != 0.
+  void rmw_stream(Address base, std::int64_t stride, std::uint64_t count,
+                  std::uint64_t uops);
+  /// Per element k in [0, count): each op in `ops` (at op.base + k*stride,
+  /// in order), then compute(uops) when uops != 0.
+  void pattern_stream(std::span<const StreamOp> ops, std::int64_t stride,
+                      std::uint64_t count, std::uint64_t uops);
+
   /// Declares the instruction footprint of the current kernel: fetches
   /// rotate over `pages` 4 KB code pages. Distinct `region` values model
   /// distinct functions (disjoint code addresses).
@@ -67,6 +101,9 @@ class ExecutionContext {
 
  private:
   void retire_fetches(std::uint64_t committed);
+  /// Single-reference stream with bulk accounting of same-line runs.
+  void unit_stream(Address base, std::int64_t stride, std::uint64_t count,
+                   bool is_store);
 
   MemoryHierarchy* hierarchy_;
   CoreModel* core_;
@@ -79,7 +116,9 @@ class ExecutionContext {
   std::uint64_t fetch_accum_ = 0;
   std::uint32_t ins_per_fetch_;
   std::uint32_t line_bytes_;
+  std::uint32_t data_line_bytes_;
   std::uint32_t l1_hit_cycles_;
+  std::uint32_t mispredict_penalty_cycles_;
 };
 
 }  // namespace pcap::sim

@@ -38,8 +38,75 @@ void MemoryHierarchy::back_invalidate(Address line) {
   l1i_.invalidate(line);
 }
 
+bool MemoryHierarchy::try_fast_repeat(Address addr, AccessType type,
+                                      std::uint64_t n, AccessLatency& lat) {
+  const bool is_fetch = type == AccessType::kFetch;
+  cache::Cache& l1 = is_fetch ? l1i_ : l1d_;
+  if (!l1.is_mru_hit(addr)) return false;
+  cache::Tlb& tlb = is_fetch ? itlb_ : dtlb_;
+  if (!tlb.note_hits(addr, n)) return false;
+  const bool is_store = type == AccessType::kStore;
+  l1.note_mru_hits(addr, is_store, n);
+  bank_.add(is_fetch ? Event::kL1Ica : Event::kL1Dca, n);
+  lat.cycles = is_store ? 1 : config_.l1_hit_cycles;
+  lat.fixed_ps = 0;
+  return true;
+}
+
+std::uint64_t MemoryHierarchy::same_line_run(Address addr, std::int64_t stride,
+                                             std::uint64_t remaining,
+                                             std::uint32_t line_bytes) {
+  if (remaining == 0) return 0;
+  if (stride == 0) return remaining;
+  const Address offset = addr & (line_bytes - 1);
+  std::uint64_t room;
+  if (stride > 0) {
+    room = (line_bytes - 1 - offset) / static_cast<std::uint64_t>(stride);
+  } else {
+    room = offset / static_cast<std::uint64_t>(-stride);
+  }
+  return room < remaining ? room : remaining;
+}
+
+StreamLatency MemoryHierarchy::access_stream(Address base, std::int64_t stride,
+                                             std::uint64_t count,
+                                             AccessType type) {
+  StreamLatency total;
+  const std::uint32_t line_bytes = (type == AccessType::kFetch)
+                                       ? l1i_.config().line_bytes
+                                       : l1d_.config().line_bytes;
+
+  Address addr = base;
+  std::uint64_t i = 0;
+  while (i < count) {
+    // Leading access on each line takes the full path (it may miss, fill,
+    // evict, prefetch, ...). The rest of the line's run is then a provable
+    // MRU repeat unless the lead did not allocate (no-write-allocate miss).
+    total.add(access(addr, type));
+    ++i;
+    std::uint64_t run = same_line_run(addr, stride, count - i, line_bytes);
+    addr += static_cast<Address>(stride);
+    while (run > 0) {
+      AccessLatency rep;
+      if (try_fast_repeat(addr, type, run, rep)) {
+        total.cycles += run * rep.cycles;  // rep.fixed_ps is always 0
+        i += run;
+        addr += static_cast<Address>(stride) * run;
+        run = 0;
+      } else {
+        total.add(access(addr, type));
+        ++i;
+        --run;
+        addr += static_cast<Address>(stride);
+      }
+    }
+  }
+  return total;
+}
+
 AccessLatency MemoryHierarchy::access(Address addr, AccessType type) {
   AccessLatency lat;
+  if (try_fast_access(addr, type, lat)) return lat;
   const bool is_fetch = type == AccessType::kFetch;
   const bool is_store = type == AccessType::kStore;
 

@@ -26,6 +26,17 @@ struct AccessLatency {
   util::Picoseconds fixed_ps = 0;
 };
 
+/// Summed cost of a batched access stream. Cycles and wall-clock picoseconds
+/// are both integers, so the batched sum is exactly the per-access sum.
+struct StreamLatency {
+  std::uint64_t cycles = 0;
+  util::Picoseconds fixed_ps = 0;
+  void add(const AccessLatency& lat) {
+    cycles += lat.cycles;
+    fixed_ps += lat.fixed_ps;
+  }
+};
+
 class MemoryHierarchy {
  public:
   /// Full node hierarchy: owns every level including L3 and DRAM.
@@ -39,6 +50,28 @@ class MemoryHierarchy {
 
   /// Performs one access, updating caches/TLBs and the counter bank.
   AccessLatency access(Address addr, AccessType type);
+
+  /// Exactly equivalent to `count` calls of `access(base + i*stride, type)`
+  /// for i in [0, count): identical PMU counts, identical structural stats,
+  /// identical summed latency. Consecutive accesses that provably hit the
+  /// L1's MRU line (and the matching TLB entry) are accounted analytically
+  /// instead of being replayed one by one.
+  StreamLatency access_stream(Address base, std::int64_t stride,
+                              std::uint64_t count, AccessType type);
+
+  /// Single-access fast path: when `addr` is a provable TLB hit plus L1 MRU
+  /// hit, accounts the access fully (PMU and structural stats) and returns
+  /// true with `lat` filled; otherwise accounts nothing and returns false,
+  /// and the caller must take the full access() path.
+  bool try_fast_access(Address addr, AccessType type, AccessLatency& lat) {
+    return try_fast_repeat(addr, type, 1, lat);
+  }
+
+  /// Bulk form: accounts `n` back-to-back accesses to `addr`'s line under
+  /// the same provable-hit precondition, with `lat` the (identical)
+  /// per-access latency. Accounts nothing and returns false otherwise.
+  bool try_fast_repeat(Address addr, AccessType type, std::uint64_t n,
+                       AccessLatency& lat);
 
   // --- gating actuators (BMC escalation ladder) ---
   void set_l3_ways(std::uint32_t n);
@@ -73,6 +106,12 @@ class MemoryHierarchy {
  private:
   /// Invalidate an L3-evicted line from the inner levels (inclusive L3).
   void back_invalidate(Address line);
+
+  /// How many of the addresses addr+stride, addr+2*stride, ... (at most
+  /// `remaining` of them) stay within the cache line holding `addr`.
+  static std::uint64_t same_line_run(Address addr, std::int64_t stride,
+                                     std::uint64_t remaining,
+                                     std::uint32_t line_bytes);
 
   HierarchyConfig config_;
   pmu::CounterBank& bank_;

@@ -137,6 +137,8 @@ class Node final : public PlatformControl, public TickSink {
     if (core_.now() >= next_tick_) tick();
   }
   void on_op() override { maybe_tick(); }
+  /// maybe_tick() is a no-op until the next housekeeping boundary.
+  util::Picoseconds op_horizon() const override { return next_tick_; }
 
  private:
   void tick();

@@ -162,6 +162,8 @@ class SmpNode final : public PlatformControl {
     util::Picoseconds start_time = 0;
 
     void on_op() override;
+    /// A lane keeps running without yielding until its quantum expires.
+    util::Picoseconds op_horizon() const override { return quantum_end; }
   };
 
   // Scheduler token protocol (one mutex, one condvar; -1 == master holds).

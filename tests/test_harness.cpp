@@ -64,11 +64,11 @@ TEST(Study, ParallelMatchesSerial) {
       run_power_cap_study("phased", phased_factory(), serial);
   const StudyResult b =
       run_power_cap_study("phased", phased_factory(), parallel);
-  // Parallel cells use fresh nodes, so results agree approximately (cache
-  // and RNG state differ only through OS-noise jitter).
-  EXPECT_NEAR(b.baseline.time_s, a.baseline.time_s, a.baseline.time_s * 0.1);
-  EXPECT_NEAR(b.cell(125.0)->time_s, a.cell(125.0)->time_s,
-              a.cell(125.0)->time_s * 0.25);
+  // Every cell runs on a fresh identically-seeded node regardless of jobs,
+  // so parallel results are bit-identical to serial ones.
+  EXPECT_EQ(b.baseline.time_s, a.baseline.time_s);
+  EXPECT_EQ(b.cell(125.0)->time_s, a.cell(125.0)->time_s);
+  EXPECT_EQ(b.cell(125.0)->energy_j, a.cell(125.0)->energy_j);
 }
 
 TEST(Study, PctHelper) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Guard simulator throughput: compare a fresh micro_simspeed run against the
+checked-in baseline (BENCH_simspeed.json) and fail on regression.
+
+Absolute nanoseconds are not comparable across machines, so every case is
+normalised by a calibration benchmark measured in the same run (BM_DramAccess:
+a simple, fast-path-free case this repo's optimisations do not touch). For a
+guarded case the gate checks the ratio of normalised times:
+
+    rel = (now[case] / now[calib]) / (base[case] / base[calib])
+
+rel > 1 + THRESHOLD (default 0.30) fails. The batched stream cases carry an
+additional floor: they must stay at least MIN_SPEEDUP times faster than the
+pre-fast-path baseline captured in BENCH_simspeed.json (they were recorded as
+per-access loops, so drifting back toward 1x means the fast path died).
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION = "BM_DramAccess"
+
+# Cases guarded against >threshold normalised regression.
+GUARDED = [
+    "BM_CacheHit",
+    "BM_CacheMissStream",
+    "BM_TlbLookup",
+    "BM_TlbHit",
+    "BM_HierarchySequential",
+    "BM_HierarchyStream",
+    "BM_ContextLoad",
+    "BM_ContextStreamLoad",
+    "BM_ContextRmw",
+]
+
+# Stream cases whose baseline entries are per-access loops: the batched
+# implementation must hold this minimum speedup (normalised) over them.
+MIN_SPEEDUP = 2.5
+SPEEDUP_CASES = [
+    "BM_HierarchyStream",
+    "BM_ContextStreamLoad",
+    "BM_ContextRmw",
+]
+
+
+def load_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        times[b["name"]] = float(b["real_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.30)
+    args = parser.parse_args()
+
+    base = load_times(args.baseline)
+    now = load_times(args.current)
+
+    for name, times in (("baseline", base), ("current", now)):
+        if CALIBRATION not in times:
+            print(f"error: {name} run lacks calibration case {CALIBRATION}")
+            return 2
+    scale = now[CALIBRATION] / base[CALIBRATION]
+    print(f"calibration {CALIBRATION}: baseline {base[CALIBRATION]:.1f} ns, "
+          f"current {now[CALIBRATION]:.1f} ns (machine scale {scale:.2f}x)")
+
+    failed = False
+    for case in GUARDED:
+        if case not in base or case not in now:
+            print(f"error: case {case} missing "
+                  f"({'baseline' if case not in base else 'current'})")
+            failed = True
+            continue
+        rel = (now[case] / now[CALIBRATION]) / (base[case] / base[CALIBRATION])
+        verdict = "ok"
+        if rel > 1.0 + args.threshold:
+            verdict = f"REGRESSION (>{args.threshold:.0%})"
+            failed = True
+        print(f"  {case}: {base[case]:.1f} -> {now[case]:.1f} ns, "
+              f"normalised {rel:.2f}x  {verdict}")
+
+    for case in SPEEDUP_CASES:
+        if case not in base or case not in now:
+            continue
+        speedup = (base[case] / base[CALIBRATION]) / (now[case] / now[CALIBRATION])
+        verdict = "ok"
+        if speedup < MIN_SPEEDUP:
+            verdict = f"TOO SLOW (< {MIN_SPEEDUP}x over per-access baseline)"
+            failed = True
+        print(f"  {case}: {speedup:.1f}x over per-access baseline  {verdict}")
+
+    if failed:
+        print("FAIL: simulator speed gate")
+        return 1
+    print("PASS: simulator speed gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
