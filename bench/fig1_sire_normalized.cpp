@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   config.repetitions = cli.repetitions(1);
   config.jobs = cli.jobs;
   config.seed = cli.seed;
+  harness::apply_cli_telemetry(config, cli, "fig1_sire");
 
   const harness::StudyResult sire = harness::run_power_cap_study(
       "SIRE/RSM", [] { return std::make_unique<apps::sar::SireWorkload>(); },

@@ -12,6 +12,7 @@
 #include "sim/execution_context.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/node.hpp"
+#include "telemetry/probe.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -101,6 +102,39 @@ void BM_ContextLoad(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ContextLoad);
+
+// Telemetry overhead cases, gated against BM_ContextLoad by
+// tools/check_bench_regression.py: a probe that is attached but disabled
+// must be free (<2%), an actively sampling one must stay under 5%.
+void BM_ContextLoadTelemetryIdle(benchmark::State& state) {
+  sim::Node node(sim::MachineConfig::romley());
+  telemetry::NodeProbe probe;  // default config: disabled
+  node.set_telemetry(&probe);
+  sim::ExecutionContext ctx(node);
+  const sim::Address base = ctx.alloc(64 * 1024 * 1024);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    ctx.load(base + offset);
+    offset = (offset + 64) & ((64ull << 20) - 1);
+  }
+}
+BENCHMARK(BM_ContextLoadTelemetryIdle);
+
+void BM_ContextLoadTelemetry(benchmark::State& state) {
+  sim::Node node(sim::MachineConfig::romley());
+  telemetry::TelemetryConfig config;
+  config.enabled = true;  // default 200 us period, trace-free
+  telemetry::NodeProbe probe(config);
+  node.set_telemetry(&probe);
+  sim::ExecutionContext ctx(node);
+  const sim::Address base = ctx.alloc(64 * 1024 * 1024);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    ctx.load(base + offset);
+    offset = (offset + 64) & ((64ull << 20) - 1);
+  }
+}
+BENCHMARK(BM_ContextLoadTelemetry);
 
 // Batched stream cases: each iteration simulates a whole regular access
 // stream, so per-iteration time is comparable between the per-access loop

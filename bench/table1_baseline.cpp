@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   config.repetitions = cli.repetitions(2);
   config.jobs = cli.jobs;
   config.seed = cli.seed;
+  harness::apply_cli_telemetry(config, cli, "table1");
 
   std::vector<harness::StudyResult> studies;
   studies.push_back(harness::run_power_cap_study(

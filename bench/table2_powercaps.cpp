@@ -24,10 +24,12 @@ int main(int argc, char** argv) {
   config.jobs = cli.jobs;
   config.seed = cli.seed;
 
+  harness::StudyConfig stereo_config = config;
+  harness::apply_cli_telemetry(stereo_config, cli, "table2_stereo");
   const harness::StudyResult stereo = harness::run_power_cap_study(
       "Stereo Matching",
       [] { return std::make_unique<apps::stereo::StereoWorkload>(); },
-      config);
+      stereo_config);
   harness::render_table2(std::cout, stereo, harness::paper_stereo_rows());
   harness::write_table2_csv(cli.csv_dir + "/table2_stereo.csv", stereo);
   const auto stereo_fit =
@@ -38,9 +40,11 @@ int main(int argc, char** argv) {
       stereo_fit.caps_compared, stereo_fit.time, stereo_fit.power,
       stereo_fit.energy);
 
+  harness::StudyConfig sire_config = config;
+  harness::apply_cli_telemetry(sire_config, cli, "table2_sire");
   const harness::StudyResult sire = harness::run_power_cap_study(
       "SIRE/RSM", [] { return std::make_unique<apps::sar::SireWorkload>(); },
-      config);
+      sire_config);
   harness::render_table2(std::cout, sire, harness::paper_sire_rows());
   harness::write_table2_csv(cli.csv_dir + "/table2_sire.csv", sire);
   const auto sire_fit =

@@ -80,6 +80,13 @@ void Bmc::build_ladder() {
   }
 }
 
+void Bmc::set_telemetry(telemetry::TraceWriter* trace,
+                        telemetry::NodeProbe* probe, const std::string& name) {
+  trace_ = trace;
+  probe_ = probe;
+  if (trace_ != nullptr) trace_track_ = trace_->track(name);
+}
+
 void Bmc::apply_structural(const ThrottleLevel& level) {
   if (platform_->l3_ways() != level.l3_ways) {
     platform_->set_l3_ways(level.l3_ways);
@@ -118,16 +125,46 @@ void Bmc::apply_level(std::uint32_t level_index) {
       apply_structural(level);
       applied_structural_level_ = level_index;
       last_structural_change_tick_ = ticks_;
+      if (trace_ != nullptr) {
+        trace_->instant(trace_track_, "bmc", "reconfigure:" + level.label,
+                        telemetry::TraceWriter::sim_us(platform_->now()),
+                        {telemetry::TraceArg::num("level", level_index)});
+      }
     }
     // else: keep the previous structure for now (P-state/duty still applied).
   }
-  if (level_index != applied_level_) ++level_changes_;
+  if (level_index != applied_level_) {
+    ++level_changes_;
+    if (trace_ != nullptr) {
+      trace_->counter(trace_track_, "throttle-level",
+                      telemetry::TraceWriter::sim_us(platform_->now()),
+                      static_cast<double>(level_index));
+    }
+    if (probe_ != nullptr) probe_->note_throttle_level(level_index);
+  }
   applied_level_ = level_index;
   max_level_reached_ = std::max(max_level_reached_, level_index);
 }
 
 void Bmc::set_cap(std::optional<double> watts) {
   cap_w_ = watts;
+  if (trace_ != nullptr) {
+    const double ts = telemetry::TraceWriter::sim_us(platform_->now());
+    if (watts) {
+      trace_->instant(trace_track_, "bmc", "set-cap", ts,
+                      {telemetry::TraceArg::num("watts", *watts)});
+    } else {
+      trace_->instant(trace_track_, "bmc", "uncap", ts);
+    }
+  }
+  if (probe_ != nullptr) {
+    if (watts) {
+      probe_->note_cap(*watts);
+    } else {
+      probe_->note_uncapped();
+    }
+    probe_->note_throttle_level(0);
+  }
   min_w_ = 0.0;
   max_w_ = 0.0;
   energy_acc_w_ = 0.0;

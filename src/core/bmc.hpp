@@ -23,6 +23,8 @@
 
 #include "ipmi/commands.hpp"
 #include "sim/platform_control.hpp"
+#include "telemetry/probe.hpp"
+#include "telemetry/trace_writer.hpp"
 
 namespace pcap::core {
 
@@ -81,6 +83,13 @@ class Bmc {
   ipmi::Capabilities capabilities() const;
   ipmi::ThrottleStatus throttle_status() const;
 
+  /// Wires this firmware into the telemetry subsystem: cap changes and
+  /// structural reconfigurations become trace events on a `name` track, the
+  /// throttle rung becomes a counter series, and the probe (if any) learns
+  /// the cap setpoint / rung for its samples. Either pointer may be null.
+  void set_telemetry(telemetry::TraceWriter* trace,
+                     telemetry::NodeProbe* probe, const std::string& name);
+
   double throttle_index() const { return index_; }
   const std::vector<ThrottleLevel>& ladder() const { return ladder_; }
   std::uint32_t current_level() const { return applied_level_; }
@@ -99,6 +108,9 @@ class Bmc {
 
   sim::PlatformControl* platform_;
   BmcConfig config_;
+  telemetry::TraceWriter* trace_ = nullptr;
+  telemetry::NodeProbe* probe_ = nullptr;
+  std::uint32_t trace_track_ = 0;
   std::vector<ThrottleLevel> ladder_;
   std::optional<double> cap_w_;
   double index_ = 0.0;

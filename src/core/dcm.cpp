@@ -34,19 +34,71 @@ std::string watts_str(double w) {
   return buf;
 }
 
+const char* session_error_name(ipmi::Session::Error error) {
+  switch (error) {
+    case ipmi::Session::Error::kNone: return "none";
+    case ipmi::Session::Error::kLost: return "lost";
+    case ipmi::Session::Error::kTimeout: return "timeout";
+    case ipmi::Session::Error::kCorrupt: return "corrupt";
+    case ipmi::Session::Error::kStale: return "stale";
+  }
+  return "unknown";
+}
+
 }  // namespace
+
+void ManagedNode::set_telemetry(telemetry::TraceWriter* trace,
+                                double* mgmt_clock_ms) {
+  trace_ = trace;
+  mgmt_clock_ms_ = mgmt_clock_ms;
+  if (trace_ != nullptr) trace_track_ = trace_->track("ipmi:" + name_);
+}
 
 ipmi::Response ManagedNode::transact_with_retry(const ipmi::Request& request) {
   const std::uint32_t attempts = std::max(1u, backoff_.max_attempts);
   ipmi::Response response;
-  for (std::uint32_t attempt = 0;; ++attempt) {
+  const double start_ms = clock_ms();
+  std::uint32_t attempt = 0;
+  bool exhausted = false;
+  for (;; ++attempt) {
     response = session_.transact(request);
-    if (session_.last_error() == ipmi::Session::Error::kNone) return response;
-    if (attempt + 1 >= attempts) break;
+    // The management clock advances by the modelled wire latency of every
+    // attempt (lost frames still burn the client's timeout budget).
+    advance_clock(session_.last_latency_ms());
+    if (session_.last_error() == ipmi::Session::Error::kNone) break;
+    if (trace_ != nullptr) {
+      trace_->instant(trace_track_, "ipmi",
+                      std::string("retry:") +
+                          session_error_name(session_.last_error()),
+                      telemetry::TraceWriter::ms_us(clock_ms()),
+                      {telemetry::TraceArg::num("attempt", attempt + 1)});
+    }
+    if (attempt + 1 >= attempts) {
+      exhausted = true;
+      break;
+    }
     ++retries_;
-    backoff_ms_total_ += util::backoff_delay_ms(backoff_, attempt, rng_);
+    const double delay_ms = util::backoff_delay_ms(backoff_, attempt, rng_);
+    backoff_ms_total_ += delay_ms;
+    if (trace_ != nullptr) {
+      trace_->span(trace_track_, "ipmi", "backoff",
+                   telemetry::TraceWriter::ms_us(clock_ms()),
+                   telemetry::TraceWriter::ms_us(delay_ms),
+                   {telemetry::TraceArg::num("attempt", attempt + 1)});
+    }
+    advance_clock(delay_ms);
   }
-  ++failed_exchanges_;
+  if (exhausted) ++failed_exchanges_;
+  if (trace_ != nullptr) {
+    trace_->span(
+        trace_track_, "ipmi", ipmi::command_name(request.command),
+        telemetry::TraceWriter::ms_us(start_ms),
+        telemetry::TraceWriter::ms_us(clock_ms() - start_ms),
+        {telemetry::TraceArg::num("attempts", attempt + 1),
+         telemetry::TraceArg::str(
+             "outcome", exhausted ? session_error_name(session_.last_error())
+                                  : "ok")});
+  }
   return response;
 }
 
@@ -107,6 +159,36 @@ const DataCenterManager::Entry* DataCenterManager::find(
   return nullptr;
 }
 
+void DataCenterManager::set_telemetry(telemetry::TraceWriter* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) trace_track_ = trace_->track("dcm");
+  for (auto& e : nodes_) e.node->set_telemetry(trace_, &mgmt_clock_ms_);
+}
+
+bool DataCenterManager::attach_probe(const std::string& name,
+                                     telemetry::NodeProbe* probe) {
+  Entry* e = find(name);
+  if (e == nullptr) return false;
+  e->probe = probe;
+  if (probe != nullptr) {
+    probe->note_health(static_cast<std::int32_t>(e->health));
+  }
+  return true;
+}
+
+void DataCenterManager::note_health_change(Entry& e) {
+  if (e.probe != nullptr) {
+    e.probe->note_health(static_cast<std::int32_t>(e.health));
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(trace_track_, "health",
+                    e.node->name() + ":" + node_health_name(e.health),
+                    telemetry::TraceWriter::ms_us(mgmt_clock_ms_),
+                    {telemetry::TraceArg::num(
+                        "failures", e.consecutive_failures)});
+  }
+}
+
 bool DataCenterManager::add_node(const std::string& name,
                                  ipmi::Transport& transport) {
   if (find(name) != nullptr) return false;
@@ -119,6 +201,9 @@ bool DataCenterManager::add_node(const std::string& name,
   comms.seed = util::splitmix64(state);
 
   auto node = std::make_unique<ManagedNode>(name, transport, comms);
+  // All sessions share the manager's clock so their spans interleave on one
+  // management timeline (and mgmt_clock_ms() totals the fleet's wire time).
+  node->set_telemetry(trace_, &mgmt_clock_ms_);
   if (!node->device_id()) return false;  // discovery probe
   const auto caps = node->capabilities();
   if (!caps) return false;
@@ -302,11 +387,13 @@ void DataCenterManager::note_exchange(Entry& e, bool ok) {
         alerts_.push_back({poll_seq_, e.node->name(),
                            "recovered: BMC reachable again; restoring group "
                            "budget share"});
+        note_health_change(e);
         rebalance_group_budget();
         break;
       case NodeHealth::kDegraded:
       case NodeHealth::kRecovered:
         e.health = NodeHealth::kHealthy;
+        note_health_change(e);
         break;
       case NodeHealth::kHealthy:
         break;
@@ -322,6 +409,7 @@ void DataCenterManager::note_exchange(Entry& e, bool ok) {
          "lost: unreachable for " + std::to_string(e.consecutive_failures) +
              " polls; reserving " + watts_str(reserved_for(e)) +
              " W of group budget"});
+    note_health_change(e);
     rebalance_group_budget();
   } else if ((e.health == NodeHealth::kHealthy ||
               e.health == NodeHealth::kRecovered) &&
@@ -331,6 +419,7 @@ void DataCenterManager::note_exchange(Entry& e, bool ok) {
         {poll_seq_, e.node->name(),
          "degraded: " + std::to_string(e.consecutive_failures) +
              " consecutive failed exchanges"});
+    note_health_change(e);
   }
 }
 

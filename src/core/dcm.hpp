@@ -24,6 +24,8 @@
 
 #include "ipmi/commands.hpp"
 #include "ipmi/transport.hpp"
+#include "telemetry/probe.hpp"
+#include "telemetry/trace_writer.hpp"
 #include "util/backoff.hpp"
 #include "util/rng.hpp"
 
@@ -60,6 +62,19 @@ class ManagedNode {
   std::optional<ipmi::ThrottleStatus> throttle_status();
   bool set_cap(std::optional<double> watts);
 
+  /// Wires this handle into the telemetry subsystem: every exchange becomes
+  /// a span on an `ipmi:<name>` track, with retry/timeout instants and
+  /// backoff spans inside it. `mgmt_clock_ms` is the management-plane clock
+  /// the spans are placed on (shared across the DCM's nodes so their
+  /// timelines interleave); when null the node keeps a private clock.
+  void set_telemetry(telemetry::TraceWriter* trace, double* mgmt_clock_ms);
+
+  /// The management-plane clock: total modelled wire latency plus backoff
+  /// delay this node has accumulated (or the shared clock, if attached).
+  double clock_ms() const {
+    return mgmt_clock_ms_ != nullptr ? *mgmt_clock_ms_ : own_clock_ms_;
+  }
+
   // --- communication accounting ---
   std::uint64_t transport_errors() const { return session_.transport_errors(); }
   std::uint64_t timeouts() const { return session_.timeouts(); }
@@ -76,6 +91,14 @@ class ManagedNode {
   /// policy. Semantic (completion-code) errors are returned immediately.
   ipmi::Response transact_with_retry(const ipmi::Request& request);
 
+  void advance_clock(double ms) {
+    if (mgmt_clock_ms_ != nullptr) {
+      *mgmt_clock_ms_ += ms;
+    } else {
+      own_clock_ms_ += ms;
+    }
+  }
+
   std::string name_;
   ipmi::Session session_;
   util::BackoffPolicy backoff_;
@@ -83,6 +106,10 @@ class ManagedNode {
   std::uint64_t retries_ = 0;
   std::uint64_t failed_exchanges_ = 0;
   double backoff_ms_total_ = 0.0;
+  telemetry::TraceWriter* trace_ = nullptr;
+  double* mgmt_clock_ms_ = nullptr;
+  double own_clock_ms_ = 0.0;
+  std::uint32_t trace_track_ = 0;
 };
 
 struct PowerSample {
@@ -165,6 +192,19 @@ class DataCenterManager {
   bool set_cap_schedule(const std::string& name,
                         std::vector<ScheduledCap> schedule);
 
+  // --- telemetry ---
+  /// Wires the manager (and every registered node handle) into the trace:
+  /// exchanges become spans on per-node `ipmi:` tracks placed on a shared
+  /// management-plane clock, health-state transitions become instants on a
+  /// `dcm` track. Nodes added later are wired automatically.
+  void set_telemetry(telemetry::TraceWriter* trace);
+  /// Attaches a node's probe so DCM-observed health transitions are stamped
+  /// into that node's samples. Returns false for an unknown node.
+  bool attach_probe(const std::string& name, telemetry::NodeProbe* probe);
+  /// Accumulated management-plane time: modelled wire latency plus backoff
+  /// delay across every node session.
+  double mgmt_clock_ms() const { return mgmt_clock_ms_; }
+
   // --- monitoring ---
   /// One monitoring sweep: reads every node's power, appends to history,
   /// updates node health (raising degraded/lost/recovered alerts and
@@ -197,6 +237,7 @@ class DataCenterManager {
     std::size_t schedule_next = 0;
     int priority = 1;
     NodeHealth health = NodeHealth::kHealthy;
+    telemetry::NodeProbe* probe = nullptr;
     std::uint32_t consecutive_failures = 0;
     std::optional<double> applied_cap_w;  // last cap that landed on the BMC
     ipmi::Capabilities caps;              // cached at discovery / group apply
@@ -215,12 +256,17 @@ class DataCenterManager {
   /// Re-splits the remembered group budget across reachable nodes from
   /// cached demand/capabilities (no new telemetry reads).
   void rebalance_group_budget();
+  /// Marks a health transition: trace instant + probe annotation.
+  void note_health_change(Entry& e);
 
   DcmConfig config_;
   std::vector<Entry> nodes_;
   std::vector<Alert> alerts_;
   std::uint64_t poll_seq_ = 0;
   std::optional<double> group_budget_w_;
+  telemetry::TraceWriter* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
+  double mgmt_clock_ms_ = 0.0;
 };
 
 }  // namespace pcap::core

@@ -8,6 +8,12 @@ MemoryAwareGovernor::MemoryAwareGovernor(sim::PlatformControl& platform,
                                          const GovernorConfig& config)
     : platform_(&platform), config_(config) {}
 
+void MemoryAwareGovernor::set_telemetry(telemetry::TraceWriter* trace,
+                                        const std::string& name) {
+  trace_ = trace;
+  if (trace_ != nullptr) trace_track_ = trace_->track(name);
+}
+
 void MemoryAwareGovernor::on_tick() {
   ++decisions_;
   const double stall = platform_->memory_stall_fraction();
@@ -18,11 +24,21 @@ void MemoryAwareGovernor::on_tick() {
   if (stall > config_.high_stall && current < deepest) {
     platform_->set_pstate(std::min(current + config_.down_step, deepest));
     ++downshifts_;
+    emit_decision("downshift", stall);
   } else if (stall < config_.low_stall && current > 0) {
     platform_->set_pstate(
         current > config_.up_step ? current - config_.up_step : 0);
     ++upshifts_;
+    emit_decision("upshift", stall);
   }
+}
+
+void MemoryAwareGovernor::emit_decision(const char* what, double stall) {
+  if (trace_ == nullptr) return;
+  trace_->instant(trace_track_, "governor", what,
+                  telemetry::TraceWriter::sim_us(platform_->now()),
+                  {telemetry::TraceArg::num("stall", stall),
+                   telemetry::TraceArg::num("pstate", platform_->pstate())});
 }
 
 void MemoryAwareGovernor::reset() { platform_->set_pstate(0); }

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/platform_control.hpp"
+#include "telemetry/trace_writer.hpp"
 
 namespace pcap::core {
 
@@ -40,14 +42,22 @@ class MemoryAwareGovernor {
   /// Re-enables P0 (e.g. when handing control back to a capping policy).
   void reset();
 
+  /// Mirrors governor decisions (up/downshifts with the stall fraction
+  /// that drove them) into a trace track named `name`. May be null.
+  void set_telemetry(telemetry::TraceWriter* trace, const std::string& name);
+
   const GovernorConfig& config() const { return config_; }
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t downshifts() const { return downshifts_; }
   std::uint64_t upshifts() const { return upshifts_; }
 
  private:
+  void emit_decision(const char* what, double stall);
+
   sim::PlatformControl* platform_;
   GovernorConfig config_;
+  telemetry::TraceWriter* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t downshifts_ = 0;
   std::uint64_t upshifts_ = 0;

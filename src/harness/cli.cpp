@@ -26,10 +26,24 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = static_cast<std::uint64_t>(
           std::atoll(std::string(value_of("--seed=")).c_str()));
+    } else if (arg == "--telemetry") {
+      options.telemetry = true;
+    } else if (arg.rfind("--telemetry-period=", 0) == 0) {
+      options.telemetry_period_us =
+          std::atof(std::string(value_of("--telemetry-period=")).c_str());
+      if (options.telemetry_period_us <= 0.0) {
+        options.telemetry_period_us = 0.0;  // fall back to binary default
+      }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = std::string(value_of("--trace-out="));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --full --reps=N --jobs=N --csv-dir=PATH --seed=N\n"
-          "  --full uses paper-scale repetitions; default is a quick run.\n");
+          "       --telemetry --telemetry-period=US --trace-out=PATH\n"
+          "  --full uses paper-scale repetitions; default is a quick run.\n"
+          "  --telemetry samples node power/frequency/counters; the period\n"
+          "  is simulated microseconds. --trace-out writes a Chrome\n"
+          "  trace-event JSON (open in ui.perfetto.dev).\n");
       std::exit(0);
     }
   }

@@ -1,13 +1,20 @@
 // Tiny flag parser shared by the bench binaries:
-//   --full            paper-scale repetitions/grids (benches default quick)
-//   --reps=N          repetition override
-//   --jobs=N          worker threads for independent cells
-//   --csv-dir=PATH    where result CSVs land (default "results")
+//   --full                 paper-scale repetitions/grids (benches default quick)
+//   --reps=N               repetition override
+//   --jobs=N               worker threads for independent cells
+//   --csv-dir=PATH         where result CSVs land (default "results")
 //   --seed=N
+//   --telemetry            enable per-node time-series sampling
+//   --telemetry-period=US  sampling period in simulated microseconds
+//   --trace-out=PATH       write a Chrome trace-event JSON (implies sampling
+//                          where the binary supports it)
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "telemetry/probe.hpp"
+#include "util/units.hpp"
 
 namespace pcap::harness {
 
@@ -17,11 +24,26 @@ struct CliOptions {
   std::size_t jobs = 1;
   std::string csv_dir = "results";
   std::uint64_t seed = 1;
+  bool telemetry = false;
+  double telemetry_period_us = 0.0;  // 0: binary default (200 us)
+  std::string trace_out;             // empty: no trace file
 
   /// Effective repetitions: explicit --reps wins, else full ? 5 : quick_reps.
   int repetitions(int quick_reps) const {
     if (reps > 0) return reps;
     return full ? 5 : quick_reps;
+  }
+
+  /// Telemetry config reflecting the flags (enabled by --telemetry, or
+  /// implicitly by --trace-out since a trace needs the probes running).
+  /// `default_period_us` is used when --telemetry-period was not given.
+  telemetry::TelemetryConfig telemetry_config(
+      double default_period_us = 200.0) const {
+    telemetry::TelemetryConfig config;
+    config.enabled = telemetry || !trace_out.empty();
+    config.sample_period = util::microseconds(
+        telemetry_period_us > 0.0 ? telemetry_period_us : default_period_us);
+    return config;
   }
 };
 

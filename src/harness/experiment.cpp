@@ -1,8 +1,10 @@
 #include "harness/experiment.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "core/capped_runner.hpp"
+#include "harness/cli.hpp"
 #include "sim/node.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -42,6 +44,13 @@ CellStats run_cell(core::CappedRunner& runner, sim::Workload& workload,
   return cell;
 }
 
+std::string cell_label(std::optional<double> cap_w) {
+  if (!cap_w) return "baseline";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "cap-%g", *cap_w);
+  return buf;
+}
+
 }  // namespace
 
 const CellStats* StudyResult::cell(double cap_w) const {
@@ -68,19 +77,45 @@ StudyResult run_power_cap_study(const std::string& workload_name,
   // bit-identical for any `jobs` value (tests/test_batch_equivalence.cpp).
   const std::size_t cells = config.caps_w.size() + 1;
   std::vector<CellStats> computed(cells);
+  // Each cell owns its probe; sinks fire serially afterwards so callers
+  // never need to synchronize against the worker pool.
+  std::vector<std::unique_ptr<telemetry::NodeProbe>> probes(cells);
   util::parallel_for(cells, config.jobs, [&](std::size_t i) {
     sim::Node node(config.machine, config.seed);
     core::CappedRunner runner(node, config.bmc);
     const std::unique_ptr<sim::Workload> workload = factory();
     const std::optional<double> cap =
         i == 0 ? std::nullopt : std::optional<double>(config.caps_w[i - 1]);
+    if (config.telemetry.enabled) {
+      probes[i] = std::make_unique<telemetry::NodeProbe>(
+          config.telemetry, nullptr, nullptr, cell_label(cap));
+      node.set_telemetry(probes[i].get());
+      runner.bmc().set_telemetry(nullptr, probes[i].get(), cell_label(cap));
+    }
     computed[i] = run_cell(runner, *workload, cap, config.repetitions);
   });
   result.baseline = computed[0];
   for (std::size_t i = 0; i < config.caps_w.size(); ++i) {
     result.capped[i] = computed[i + 1];
   }
+  if (config.telemetry.enabled && config.telemetry_sink) {
+    for (const auto& probe : probes) {
+      if (probe) config.telemetry_sink(probe->name(), probe->sampler());
+    }
+  }
   return result;
+}
+
+void apply_cli_telemetry(StudyConfig& config, const CliOptions& cli,
+                         const std::string& prefix) {
+  config.telemetry = cli.telemetry_config();
+  if (!config.telemetry.enabled) return;
+  config.telemetry_sink = [dir = cli.csv_dir, prefix](
+                              const std::string& label,
+                              const telemetry::Sampler& sampler) {
+    sampler.write_csv_file(dir + "/" + prefix + "_telemetry_" + label +
+                          ".csv");
+  };
 }
 
 }  // namespace pcap::harness

@@ -14,6 +14,7 @@
 #include "pmu/events.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/workload.hpp"
+#include "telemetry/probe.hpp"
 #include "util/units.hpp"
 
 namespace pcap::harness {
@@ -29,6 +30,18 @@ struct StudyConfig {
   sim::MachineConfig machine = sim::MachineConfig::romley();
   core::BmcConfig bmc;
   std::uint64_t seed = 1;
+
+  /// Per-cell node telemetry. When `telemetry.enabled`, every cell's node
+  /// carries a probe (power / frequency / cap / miss-rate time series), and
+  /// `telemetry_sink` — if set — is called once per cell with the cell's
+  /// label ("baseline" or "cap-<w>") and its filled sampler. Sinks run on
+  /// the calling thread after all cells finish, in deterministic cell
+  /// order, so they need no locking even with jobs > 1. Attaching
+  /// telemetry must not change any measurement
+  /// (tests/test_telemetry.cpp holds the study bit-identical on/off).
+  telemetry::TelemetryConfig telemetry;
+  std::function<void(const std::string&, const telemetry::Sampler&)>
+      telemetry_sink;
 };
 
 /// Averaged measurements for one (workload, cap) cell.
@@ -64,5 +77,14 @@ struct StudyResult {
 StudyResult run_power_cap_study(const std::string& workload_name,
                                 const WorkloadFactory& factory,
                                 const StudyConfig& config);
+
+struct CliOptions;
+
+/// Wires the CLI telemetry flags into `config`: a no-op unless --telemetry
+/// (or --trace-out) was given, in which case every cell's sample series is
+/// written to `<csv_dir>/<prefix>_telemetry_<label>.csv` ("baseline",
+/// "cap-150", ...).
+void apply_cli_telemetry(StudyConfig& config, const CliOptions& cli,
+                         const std::string& prefix);
 
 }  // namespace pcap::harness

@@ -19,6 +19,19 @@ enum class Command : std::uint8_t {
   kGetThrottleStatus = 0xCC,  // vendor extension: escalation diagnostics
 };
 
+/// Human-readable command name for diagnostics and trace spans.
+inline const char* command_name(std::uint8_t command) {
+  switch (static_cast<Command>(command)) {
+    case Command::kGetDeviceId: return "GetDeviceId";
+    case Command::kGetPowerReading: return "GetPowerReading";
+    case Command::kSetPowerLimit: return "SetPowerLimit";
+    case Command::kGetPowerLimit: return "GetPowerLimit";
+    case Command::kGetCapabilities: return "GetCapabilities";
+    case Command::kGetThrottleStatus: return "GetThrottleStatus";
+  }
+  return "Unknown";
+}
+
 struct DeviceId {
   std::uint8_t device_id = 0x20;
   std::uint8_t firmware_major = 1;

@@ -133,6 +133,8 @@ class Session {
   Response transact(const Request& request);
 
   Error last_error() const { return last_error_; }
+  /// Modelled latency of the most recent exchange (from the transport).
+  double last_latency_ms() const { return transport_->last_latency_ms(); }
   std::uint64_t transport_errors() const { return transport_errors_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t stale_rejections() const { return stale_rejections_; }

@@ -15,7 +15,7 @@ Node::Node(const MachineConfig& config, std::uint64_t seed)
       core_(config.core, pstates_, bank_),
       power_model_(config.power),
       thermal_(config.thermal),
-      meter_(config.ticks.meter_period),
+      meter_(config.ticks.meter_period()),
       rng_(seed) {
   watts_ = power_model_.total_watts(assemble_inputs());
   meter_.start_session(0);
@@ -107,8 +107,33 @@ void Node::tick() {
     next_control_ = now + config_.ticks.bmc_period;
   }
 
+  // Telemetry (read-only: must not perturb any state the sim depends on).
+  if constexpr (telemetry::kCompiledIn) {
+    if (probe_ != nullptr && probe_->wants_sample(now)) feed_probe(now);
+  }
+
   last_tick_ = now;
   next_tick_ = now + config_.ticks.node_tick;
+}
+
+void Node::feed_probe(util::Picoseconds now) {
+  telemetry::ProbeInput in;
+  in.now = now;
+  in.watts = watts_;
+  in.frequency_mhz =
+      static_cast<double>(core_.frequency()) / static_cast<double>(util::kMegaHertz);
+  in.pstate = core_.pstate();
+  in.duty = core_.duty();
+  in.temperature_c = thermal_.temperature_c();
+  in.tot_ins = bank_.get(Event::kTotIns);
+  in.tot_cyc = bank_.get(Event::kTotCyc);
+  in.l1_acc = bank_.get(Event::kL1Dca);
+  in.l1_miss = bank_.get(Event::kL1Dcm);
+  in.l2_acc = bank_.get(Event::kL2Tca);
+  in.l2_miss = bank_.get(Event::kL2Tcm);
+  in.l3_acc = bank_.get(Event::kL3Tca);
+  in.l3_miss = bank_.get(Event::kL3Tcm);
+  probe_->on_tick(in);
 }
 
 double Node::window_average_power_w() {

@@ -24,6 +24,7 @@
 #include "sim/machine_config.hpp"
 #include "sim/platform_control.hpp"
 #include "sim/workload.hpp"
+#include "telemetry/probe.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -71,6 +72,12 @@ class Node final : public PlatformControl, public TickSink {
   /// Enables/disables the OS-noise model (periodic TLB flush + pipeline
   /// drain from timer interrupts). On by default.
   void set_os_noise(bool enabled) { os_noise_enabled_ = enabled; }
+
+  /// Attaches a telemetry probe fed every housekeeping tick (nullptr
+  /// detaches). The probe only reads state: simulated results are
+  /// bit-identical with or without one (tests/test_telemetry.cpp).
+  void set_telemetry(telemetry::NodeProbe* probe) { probe_ = probe; }
+  telemetry::NodeProbe* telemetry_probe() { return probe_; }
 
   /// Extension (paper §V future work): additional cores kept active while a
   /// workload runs. They contribute core power (raising the demand the BMC
@@ -143,6 +150,7 @@ class Node final : public PlatformControl, public TickSink {
  private:
   void tick();
   power::PowerInputs assemble_inputs() const;
+  void feed_probe(util::Picoseconds now);
 
   MachineConfig config_;
   power::PStateTable pstates_;
@@ -154,6 +162,7 @@ class Node final : public PlatformControl, public TickSink {
   meter::WattsUp meter_;
   util::Rng rng_;
   ControlHook control_hook_;
+  telemetry::NodeProbe* probe_ = nullptr;
 
   bool running_ = false;
   bool os_noise_enabled_ = true;

@@ -14,7 +14,7 @@ SmpNode::SmpNode(const SmpConfig& config, std::uint64_t seed)
       dram_(config.machine.hierarchy.dram),
       power_model_(config.machine.power),
       thermal_(config.machine.thermal),
-      meter_(config.machine.ticks.meter_period),
+      meter_(config.machine.ticks.meter_period()),
       rng_(seed) {
   if (config.cores < 1) throw std::invalid_argument("SmpNode: cores < 1");
   if (config.cores > config.machine.power.cores) {

@@ -1,0 +1,115 @@
+#include "telemetry/reducer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pcap::telemetry {
+
+GroupSeries Reducer::align(const Sampler& sampler,
+                           const std::string& name) const {
+  GroupSeries out;
+  out.name = name;
+  const auto& ring = sampler.series();
+  if (ring.empty()) return out;
+
+  const util::Picoseconds first = ring.front().time;
+  const util::Picoseconds last = ring.back().time;
+  // Grid edges at integer multiples of the period, covering [first, last].
+  util::Picoseconds edge = (first / period_) * period_;
+  if (edge < first) edge += period_;
+  std::size_t i = 0;
+  for (; edge <= last; edge += period_) {
+    // Last sample at-or-before the bin edge (zero-order hold).
+    while (i + 1 < ring.size() && ring.at(i + 1).time <= edge) ++i;
+    if (ring.at(i).time > edge) continue;  // node not yet sampling
+    const double w = ring.at(i).watts;
+    out.bins.push_back({edge, 1, w, w, w, w});
+  }
+  return out;
+}
+
+GroupSeries Reducer::merge(const GroupSeries& a, const GroupSeries& b) {
+  GroupSeries out;
+  out.name = a.name.empty() ? b.name : a.name;
+  std::size_t ia = 0, ib = 0;
+  out.bins.reserve(std::max(a.bins.size(), b.bins.size()));
+  while (ia < a.bins.size() || ib < b.bins.size()) {
+    const bool take_a =
+        ib >= b.bins.size() ||
+        (ia < a.bins.size() && a.bins[ia].time < b.bins[ib].time);
+    const bool take_b =
+        ia >= a.bins.size() ||
+        (ib < b.bins.size() && b.bins[ib].time < a.bins[ia].time);
+    if (take_a) {
+      out.bins.push_back(a.bins[ia++]);
+    } else if (take_b) {
+      out.bins.push_back(b.bins[ib++]);
+    } else {  // same bin edge: combine
+      const GroupSample& x = a.bins[ia++];
+      const GroupSample& y = b.bins[ib++];
+      GroupSample m;
+      m.time = x.time;
+      m.nodes = x.nodes + y.nodes;
+      m.min_w = std::min(x.min_w, y.min_w);
+      m.max_w = std::max(x.max_w, y.max_w);
+      m.sum_w = x.sum_w + y.sum_w;
+      m.mean_w = m.sum_w / static_cast<double>(m.nodes);
+      out.bins.push_back(m);
+    }
+  }
+  return out;
+}
+
+GroupSeries Reducer::reduce(std::span<const Sampler* const> samplers,
+                            const std::string& name) const {
+  std::vector<GroupSeries> level;
+  level.reserve(samplers.size());
+  for (std::size_t i = 0; i < samplers.size(); ++i) {
+    level.push_back(align(*samplers[i], name));
+  }
+  if (level.empty()) {
+    GroupSeries empty;
+    empty.name = name;
+    return empty;
+  }
+  // Binary-tree fan-in: pair up, merge, repeat until one series remains.
+  while (level.size() > 1) {
+    std::vector<GroupSeries> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(merge(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  level.front().name = name;
+  return level.front();
+}
+
+void Reducer::write_csv(const GroupSeries& series, std::ostream& os) {
+  os << "time_s,nodes,min_w,mean_w,max_w,sum_w\n";
+  for (const GroupSample& b : series.bins) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%.9f,%zu,%.3f,%.3f,%.3f,%.3f\n",
+                  util::to_seconds(b.time), b.nodes, b.min_w, b.mean_w,
+                  b.max_w, b.sum_w);
+    os << buf;
+  }
+}
+
+void Reducer::write_csv_file(const GroupSeries& series,
+                             const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("Reducer: cannot open " + path);
+  write_csv(series, out);
+}
+
+}  // namespace pcap::telemetry

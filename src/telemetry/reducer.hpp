@@ -1,0 +1,68 @@
+// Hierarchical aggregation of per-node time series into group series, the
+// shape flux-power-monitor uses for cluster power: leaves sample, interior
+// nodes combine (min/mean/max/sum), the root holds the rack-level series.
+//
+// Per-node samplers run on independent tick clocks, so series are first
+// aligned onto a shared time grid (bin = the reducer period, value = last
+// sample at-or-before the bin edge), then merged pairwise up a binary tree.
+// The merge is associative, so any tree shape gives identical results; the
+// tree matters for scale (a 10k-node fan-in becomes log-depth) and is
+// exercised explicitly by the tests.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/sampler.hpp"
+#include "util/units.hpp"
+
+namespace pcap::telemetry {
+
+/// One bin of a group-level series.
+struct GroupSample {
+  util::Picoseconds time = 0;
+  std::size_t nodes = 0;  // nodes contributing to this bin
+  double min_w = 0.0;
+  double mean_w = 0.0;
+  double max_w = 0.0;
+  double sum_w = 0.0;
+};
+
+struct GroupSeries {
+  std::string name;
+  std::vector<GroupSample> bins;
+};
+
+class Reducer {
+ public:
+  /// `period`: width of the shared time grid the node series are aligned to.
+  explicit Reducer(util::Picoseconds period) : period_(period ? period : 1) {}
+
+  util::Picoseconds period() const { return period_; }
+
+  /// Aligns one node's retained series onto the grid. Bins before the
+  /// node's first sample are absent (nodes == 0 contribution).
+  GroupSeries align(const Sampler& sampler, const std::string& name) const;
+
+  /// Pairwise merge of two aligned/reduced series: per-bin min of mins,
+  /// max of maxes, sum of sums, node-weighted mean.
+  static GroupSeries merge(const GroupSeries& a, const GroupSeries& b);
+
+  /// Full hierarchical reduction: aligns every sampler and merges up a
+  /// binary tree. Equivalent to folding merge() left-to-right.
+  GroupSeries reduce(std::span<const Sampler* const> samplers,
+                     const std::string& name) const;
+
+  /// CSV: time_s,nodes,min_w,mean_w,max_w,sum_w.
+  static void write_csv(const GroupSeries& series, std::ostream& os);
+  static void write_csv_file(const GroupSeries& series,
+                             const std::string& path);
+
+ private:
+  util::Picoseconds period_;
+};
+
+}  // namespace pcap::telemetry

@@ -1,0 +1,58 @@
+// Fixed-capacity ring buffer for telemetry series: bounded memory for
+// arbitrarily long runs, O(1) push, oldest-first iteration. Once full, each
+// push overwrites the oldest element (the tail of the time series is what
+// observability cares about; the aggregate view keeps the totals).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pcap::telemetry {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity ? capacity : 1) {
+    data_.reserve(capacity_);
+  }
+
+  void push(const T& value) {
+    if (data_.size() < capacity_) {
+      data_.push_back(value);
+    } else {
+      data_[head_] = value;
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++pushed_;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return data_.empty(); }
+  /// Total elements ever pushed (>= size() once the buffer has wrapped).
+  std::size_t pushed() const { return pushed_; }
+  bool wrapped() const { return pushed_ > capacity_; }
+
+  /// i-th element in time order: 0 is the oldest retained, size()-1 the
+  /// most recent.
+  const T& at(std::size_t i) const {
+    return data_[(head_ + i) % data_.size()];
+  }
+  const T& back() const { return at(size() - 1); }
+  const T& front() const { return at(0); }
+
+  void clear() {
+    data_.clear();
+    head_ = 0;
+    pushed_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> data_;
+  std::size_t head_ = 0;  // index of the oldest element once full
+  std::size_t pushed_ = 0;
+};
+
+}  // namespace pcap::telemetry

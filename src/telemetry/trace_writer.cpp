@@ -1,0 +1,148 @@
+#include "telemetry/trace_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pcap::telemetry {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << '0';
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+void write_args(std::ostream& os, const std::vector<TraceArg>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ',';
+    write_escaped(os, args[i].key);
+    os << ':';
+    if (args[i].is_number) {
+      write_number(os, args[i].number);
+    } else {
+      write_escaped(os, args[i].text);
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::uint32_t TraceWriter::track(const std::string& name) {
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  track_names_.push_back(name);
+  return static_cast<std::uint32_t>(track_names_.size() - 1);
+}
+
+void TraceWriter::span(std::uint32_t track, const std::string& category,
+                       const std::string& name, double ts_us, double dur_us,
+                       std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  events_.push_back(
+      {name, category, 'X', ts_us, dur_us, track, std::move(args)});
+}
+
+void TraceWriter::instant(std::uint32_t track, const std::string& category,
+                          const std::string& name, double ts_us,
+                          std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  events_.push_back({name, category, 'i', ts_us, 0.0, track, std::move(args)});
+}
+
+void TraceWriter::counter(std::uint32_t track, const std::string& name,
+                          double ts_us, double value) {
+  if (!enabled_) return;
+  events_.push_back({name, "counter", 'C', ts_us, 0.0, track,
+                     {TraceArg::num("value", value)}});
+}
+
+void TraceWriter::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first, so viewers label every track.
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << i
+       << ",\"args\":{\"name\":";
+    write_escaped(os, track_names_[i]);
+    os << "}}";
+  }
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    write_escaped(os, e.name);
+    os << ",\"cat\":";
+    write_escaped(os, e.category.empty() ? std::string("pcap") : e.category);
+    os << ",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.track
+       << ",\"ts\":";
+    write_number(os, e.ts_us);
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      write_number(os, e.dur_us);
+    }
+    if (e.phase == 'i') {
+      os << ",\"s\":\"t\"";  // instant scoped to its thread row
+    }
+    if (!e.args.empty()) {
+      os << ",\"args\":";
+      write_args(os, e.args);
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string TraceWriter::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void TraceWriter::write_file(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("TraceWriter: cannot open " + path);
+  write_json(out);
+  out << '\n';
+}
+
+}  // namespace pcap::telemetry

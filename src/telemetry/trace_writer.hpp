@@ -1,0 +1,95 @@
+// Chrome trace-event JSON writer for management-plane activity.
+//
+// Spans (ph "X"), instants (ph "i") and counter series (ph "C") accumulate
+// in memory and serialize as the JSON-object trace format, so a whole run —
+// cap changes, IPMI retries, backoff sleeps, health transitions, governor
+// decisions — opens directly in about:tracing or https://ui.perfetto.dev.
+//
+// Tracks: each instrumented component registers a named track (rendered as
+// a thread row); the writer emits the matching thread_name metadata events.
+// Timestamps are microseconds, the trace format's native unit. Simulated
+// node time (integer picoseconds) and the management plane's modelled
+// milliseconds both map onto the same timeline via the *_us helpers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pcap::telemetry {
+
+/// One "key":value argument attached to an event. Numeric when `is_number`,
+/// else a JSON string.
+struct TraceArg {
+  std::string key;
+  std::string text;
+  double number = 0.0;
+  bool is_number = false;
+
+  static TraceArg num(std::string key, double value) {
+    return {std::move(key), {}, value, true};
+  }
+  static TraceArg str(std::string key, std::string value) {
+    return {std::move(key), std::move(value), 0.0, false};
+  }
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'i';     // 'X' span, 'i' instant, 'C' counter
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // spans only
+  std::uint32_t track = 0;
+  std::vector<TraceArg> args;
+};
+
+class TraceWriter {
+ public:
+  explicit TraceWriter(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Registers a named track (a thread row in the viewer); returns its id.
+  std::uint32_t track(const std::string& name);
+
+  void span(std::uint32_t track, const std::string& category,
+            const std::string& name, double ts_us, double dur_us,
+            std::vector<TraceArg> args = {});
+  void instant(std::uint32_t track, const std::string& category,
+               const std::string& name, double ts_us,
+               std::vector<TraceArg> args = {});
+  /// Counter sample; renders as a stacked area series named `name`.
+  void counter(std::uint32_t track, const std::string& name, double ts_us,
+               double value);
+
+  std::size_t event_count() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t track_count() const { return track_names_.size(); }
+
+  /// Serializes {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+  /// Writes to `path`, creating parent directories. Throws on failure.
+  void write_file(const std::string& path) const;
+
+  void clear() { events_.clear(); }
+
+  // --- timestamp helpers ---
+  static double sim_us(util::Picoseconds t) {
+    return static_cast<double>(t) / 1e6;
+  }
+  static double ms_us(double ms) { return ms * 1000.0; }
+
+ private:
+  bool enabled_;
+  std::vector<std::string> track_names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pcap::telemetry

@@ -37,4 +37,40 @@ class AsciiChart {
   bool log_y_ = false;
 };
 
+/// One named series of (time, value) points on a continuous time axis.
+/// Times are in seconds; series may have different lengths and cadences.
+struct TimeSeries {
+  std::string name;
+  std::vector<double> times_s;
+  std::vector<double> values;
+};
+
+/// Line chart over continuous x (simulated time): each point is placed by
+/// its timestamp, so series sampled at different cadences (a 200 µs meter,
+/// a 20 µs control loop) share one axis. Renders like AsciiChart but with
+/// numeric time labels; used by examples/power_timeline to show the
+/// cap-settling transient.
+class TimeSeriesChart {
+ public:
+  explicit TimeSeriesChart(int width = 72, int height = 20);
+
+  void add_series(TimeSeries series);
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+  /// Overrides the y range (default: fit to the data).
+  void set_y_range(double lo, double hi);
+
+  std::string render() const;
+
+ private:
+  std::vector<TimeSeries> series_;
+  std::string title_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  bool fixed_range_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 0.0;
+};
+
 }  // namespace pcap::util

@@ -1,0 +1,163 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pcap::util {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n': return literal("null") ? std::optional<JsonValue>(JsonValue{})
+                                       : std::nullopt;
+      case 't': return literal("true")
+                           ? std::optional<JsonValue>(JsonValue{true})
+                           : std::nullopt;
+      case 'f': return literal("false")
+                           ? std::optional<JsonValue>(JsonValue{false})
+                           : std::nullopt;
+      case '"': return parse_string();
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_string() {
+    std::string out;
+    if (!consume('"')) return std::nullopt;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return JsonValue{std::move(out)};
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            const std::string hex = text_.substr(pos_, 4);
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return std::nullopt;
+            // ASCII only; anything wider is preserved as '?' (the trace
+            // writer never emits non-ASCII).
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            pos_ += 4;
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return JsonValue{value};
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    JsonArray items;
+    skip_ws();
+    if (consume(']')) return JsonValue{std::move(items)};
+    for (;;) {
+      auto item = parse_value();
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      if (consume(']')) return JsonValue{std::move(items)};
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    JsonObject members;
+    skip_ws();
+    if (consume('}')) return JsonValue{std::move(members)};
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      members[key->as_string()] = std::move(*value);
+      if (consume('}')) return JsonValue{std::move(members)};
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace pcap::util

@@ -175,10 +175,11 @@ TEST_P(BmcCapGrid, RegulatesOrSaturates) {
   CappedRunner runner(node);
   apps::PhasedWorkload workload(steady_params());
   const sim::RunReport r = runner.run(workload, cap);
-  if (cap >= 126.0) {
+  const double floor = sim::CalibrationTargets{}.floor_below_w;
+  if (cap >= floor) {
     EXPECT_LE(r.avg_power_w, cap + 2.0) << "cap " << cap;
   } else {
-    EXPECT_LE(r.avg_power_w, 126.0) << "floor exceeded at cap " << cap;
+    EXPECT_LE(r.avg_power_w, floor) << "floor exceeded at cap " << cap;
   }
   // The controller must never leave the actuators out of range.
   EXPECT_LE(node.pstate(), 15u);

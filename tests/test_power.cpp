@@ -5,6 +5,7 @@
 #include "power/model.hpp"
 #include "power/pstate.hpp"
 #include "power/thermal.hpp"
+#include "sim/machine_config.hpp"
 #include "util/units.hpp"
 
 namespace pcap::power {
@@ -105,17 +106,19 @@ PowerInputs loaded_inputs() {
 }
 
 TEST(NodePower, IdleMatchesPaper) {
+  const sim::CalibrationTargets cal;
   NodePowerModel model{NodePowerConfig{}};
   const double idle = model.total_watts(idle_inputs());
-  EXPECT_GE(idle, 99.0);   // paper: "idle power was between 100 and 103 W"
-  EXPECT_LE(idle, 104.0);
+  EXPECT_GE(idle, cal.idle_min_w);  // paper: "between 100 and 103 W"
+  EXPECT_LE(idle, cal.idle_max_w);
 }
 
 TEST(NodePower, LoadedBaselineInPaperBand) {
+  const sim::CalibrationTargets cal;
   NodePowerModel model{NodePowerConfig{}};
   const double loaded = model.total_watts(loaded_inputs());
-  EXPECT_GE(loaded, 148.0);  // paper baselines: 153-157 W
-  EXPECT_LE(loaded, 160.0);
+  EXPECT_GE(loaded, cal.loaded_min_w);  // paper baselines: 153-157 W
+  EXPECT_LE(loaded, cal.loaded_max_w);
 }
 
 TEST(NodePower, SlowestPStateStillAbove135WUnderLoad) {
@@ -128,8 +131,9 @@ TEST(NodePower, SlowestPStateStillAbove135WUnderLoad) {
   in.l3_accesses_per_s *= 0.45;
   in.dram_accesses_per_s *= 0.45;
   const double watts = model.total_watts(in);
-  EXPECT_GE(watts, 126.0);
-  EXPECT_LE(watts, 136.0);
+  const sim::CalibrationTargets cal;
+  EXPECT_GE(watts, cal.min_pstate_min_w);
+  EXPECT_LE(watts, cal.min_pstate_max_w);
 }
 
 TEST(NodePower, ThrottlingFloorAboveOneTwenty) {
@@ -146,8 +150,9 @@ TEST(NodePower, ThrottlingFloorAboveOneTwenty) {
   in.l3_accesses_per_s = 1e6;
   in.dram_accesses_per_s = 1e6;
   const double floor = model.total_watts(in);
-  EXPECT_GT(floor, 120.0);
-  EXPECT_LT(floor, 126.0);
+  const sim::CalibrationTargets cal;
+  EXPECT_GT(floor, cal.floor_above_w);
+  EXPECT_LT(floor, cal.floor_below_w);
 }
 
 TEST(NodePower, MonotoneInFrequency) {

@@ -1,0 +1,418 @@
+// Tests for the telemetry subsystem: ring wraparound, windowed aggregates
+// against a naive reference, reducer group math, Chrome-trace JSON validity
+// (parsed back with util::parse_json), and the load-bearing guarantee that
+// attaching telemetry leaves simulated study results bit-identical.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "harness/experiment.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace pcap::telemetry {
+namespace {
+
+// --- RingBuffer ---
+
+TEST(RingBuffer, FillsThenWrapsOverwritingOldest) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int v = 1; v <= 3; ++v) ring.push(v);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_FALSE(ring.wrapped());
+  EXPECT_EQ(ring.front(), 1);
+  EXPECT_EQ(ring.back(), 3);
+
+  for (int v = 4; v <= 10; ++v) ring.push(v);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_TRUE(ring.wrapped());
+  // Oldest-first iteration over the retained tail: 7, 8, 9, 10.
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i), static_cast<int>(7 + i));
+  }
+  EXPECT_EQ(ring.front(), 7);
+  EXPECT_EQ(ring.back(), 10);
+
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.pushed(), 0u);
+  EXPECT_FALSE(ring.wrapped());
+}
+
+// --- Sampler ---
+
+NodeSample watts_sample(util::Picoseconds t, double watts) {
+  NodeSample s;
+  s.time = t;
+  s.watts = watts;
+  return s;
+}
+
+TEST(Sampler, DueRespectsPeriodAndSkipsMissedBoundaries) {
+  SamplerConfig config;
+  config.period = util::microseconds(10);
+  Sampler sampler(config);
+  EXPECT_FALSE(sampler.due(util::microseconds(9)));
+  EXPECT_TRUE(sampler.due(util::microseconds(10)));
+  sampler.record(watts_sample(util::microseconds(10), 100.0));
+  EXPECT_FALSE(sampler.due(util::microseconds(19)));
+  // A long stall past several boundaries yields ONE sample, then the next
+  // boundary is beyond the stall — no burst of stale duplicates.
+  EXPECT_TRUE(sampler.due(util::microseconds(55)));
+  sampler.record(watts_sample(util::microseconds(55), 101.0));
+  EXPECT_FALSE(sampler.due(util::microseconds(59)));
+  EXPECT_TRUE(sampler.due(util::microseconds(60)));
+  EXPECT_EQ(sampler.size(), 2u);
+}
+
+// Naive reference for Aggregate: sort-and-scan over the last `window`.
+Aggregate naive_aggregate(const std::vector<double>& all, std::size_t window) {
+  Aggregate agg;
+  const std::size_t count =
+      (window == 0 || window > all.size()) ? all.size() : window;
+  if (count == 0) return agg;
+  std::vector<double> v(all.end() - static_cast<std::ptrdiff_t>(count),
+                        all.end());
+  std::sort(v.begin(), v.end());
+  agg.count = count;
+  agg.min = v.front();
+  agg.max = v.back();
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  agg.mean = sum / static_cast<double>(count);
+  const double rank = 0.95 * static_cast<double>(count - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, count - 1);
+  agg.p95 = v[lo] + (v[hi] - v[lo]) * (rank - static_cast<double>(lo));
+  return agg;
+}
+
+TEST(Sampler, WindowedAggregatesMatchNaiveReference) {
+  SamplerConfig config;
+  config.period = util::microseconds(1);
+  config.capacity = 64;
+  Sampler sampler(config);
+  // Deterministic pseudo-random-ish series, enough to wrap the ring.
+  std::vector<double> recorded;
+  for (int i = 1; i <= 100; ++i) {
+    const double w = 100.0 + 37.0 * std::sin(0.7 * i) + (i % 13);
+    sampler.record(watts_sample(util::microseconds(i), w));
+    recorded.push_back(w);
+  }
+  ASSERT_EQ(sampler.size(), 64u);
+  ASSERT_EQ(sampler.taken(), 100u);
+  // The ring retains the last 64; the naive reference sees the same tail.
+  const std::vector<double> retained(recorded.end() - 64, recorded.end());
+  const auto select = [](const NodeSample& s) { return s.watts; };
+  for (std::size_t window : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                             std::size_t{17}, std::size_t{64},
+                             std::size_t{999}}) {
+    const Aggregate got = sampler.aggregate(select, window);
+    const Aggregate want = naive_aggregate(retained, window);
+    EXPECT_EQ(got.count, want.count) << "window " << window;
+    EXPECT_DOUBLE_EQ(got.min, want.min) << "window " << window;
+    EXPECT_DOUBLE_EQ(got.mean, want.mean) << "window " << window;
+    EXPECT_DOUBLE_EQ(got.max, want.max) << "window " << window;
+    EXPECT_DOUBLE_EQ(got.p95, want.p95) << "window " << window;
+  }
+  EXPECT_EQ(sampler.aggregate(select, 0).count, 64u);
+}
+
+// --- Registry ---
+
+TEST(Registry, CountersAndGaugesRoundTrip) {
+  Registry registry;
+  const CounterHandle c = registry.counter("samples");
+  const GaugeHandle g = registry.gauge("watts");
+  registry.add(c);
+  registry.add(c, 4);
+  registry.set(g, 131.5);
+  if constexpr (!kCompiledIn) {
+    // cmake -DPCAP_TELEMETRY=OFF: mutators fold to nothing.
+    EXPECT_EQ(registry.value(c), 0u);
+    EXPECT_DOUBLE_EQ(registry.value(g), 0.0);
+    return;
+  }
+  EXPECT_EQ(registry.value(c), 5u);
+  EXPECT_DOUBLE_EQ(registry.value(g), 131.5);
+  // Re-registering the same name returns the same slot.
+  const CounterHandle c2 = registry.counter("samples");
+  registry.add(c2, 5);
+  EXPECT_EQ(registry.value(c), 10u);
+  EXPECT_EQ(registry.counter_count(), 1u);
+
+  registry.set_enabled(false);
+  registry.add(c, 100);
+  registry.set(g, 0.0);
+  EXPECT_EQ(registry.value(c), 10u);
+  EXPECT_DOUBLE_EQ(registry.value(g), 131.5);
+
+  registry.set_enabled(true);
+  registry.reset();
+  EXPECT_EQ(registry.value(c), 0u);
+  EXPECT_NE(registry.dump().find("samples 0"), std::string::npos);
+}
+
+// --- Reducer ---
+
+Sampler make_sampler(util::Picoseconds period,
+                     const std::vector<std::pair<double, double>>& points) {
+  SamplerConfig config;
+  config.period = period;
+  Sampler sampler(config);
+  for (const auto& [t_us, w] : points) {
+    sampler.record(watts_sample(
+        static_cast<util::Picoseconds>(util::microseconds(1) * t_us), w));
+  }
+  return sampler;
+}
+
+TEST(Reducer, AlignSnapsToGridWithZeroOrderHold) {
+  // Samples at 3, 13, 23 us; grid period 10 us -> edges 10 and 20 covered
+  // by zero-order hold of the last sample at-or-before each edge.
+  const Sampler s = make_sampler(
+      util::microseconds(10), {{3.0, 100.0}, {13.0, 110.0}, {23.0, 120.0}});
+  Reducer reducer(util::microseconds(10));
+  const GroupSeries series = reducer.align(s, "n");
+  ASSERT_EQ(series.bins.size(), 2u);
+  EXPECT_EQ(series.bins[0].time, util::microseconds(10));
+  EXPECT_DOUBLE_EQ(series.bins[0].mean_w, 100.0);
+  EXPECT_EQ(series.bins[1].time, util::microseconds(20));
+  EXPECT_DOUBLE_EQ(series.bins[1].mean_w, 110.0);
+  EXPECT_EQ(series.bins[0].nodes, 1u);
+}
+
+TEST(Reducer, MergeCombinesEqualBinsAndInterleavesOthers) {
+  const Sampler a =
+      make_sampler(util::microseconds(10), {{0.0, 100.0}, {10.0, 120.0}});
+  const Sampler b = make_sampler(util::microseconds(10),
+                                 {{0.0, 140.0}, {10.0, 160.0}, {20.0, 150.0}});
+  Reducer reducer(util::microseconds(10));
+  const GroupSeries merged =
+      Reducer::merge(reducer.align(a, "a"), reducer.align(b, "b"));
+  ASSERT_EQ(merged.bins.size(), 3u);
+  // Bin at t=0: both nodes present.
+  EXPECT_EQ(merged.bins[0].nodes, 2u);
+  EXPECT_DOUBLE_EQ(merged.bins[0].min_w, 100.0);
+  EXPECT_DOUBLE_EQ(merged.bins[0].max_w, 140.0);
+  EXPECT_DOUBLE_EQ(merged.bins[0].sum_w, 240.0);
+  EXPECT_DOUBLE_EQ(merged.bins[0].mean_w, 120.0);
+  // Bin at t=20 us exists only in b and passes through untouched.
+  EXPECT_EQ(merged.bins[2].nodes, 1u);
+  EXPECT_DOUBLE_EQ(merged.bins[2].sum_w, 150.0);
+}
+
+TEST(Reducer, ReduceMatchesManualMergeFoldEitherAssociation) {
+  const Sampler a =
+      make_sampler(util::microseconds(10), {{0.0, 101.0}, {10.0, 102.0}});
+  const Sampler b =
+      make_sampler(util::microseconds(10), {{0.0, 111.0}, {10.0, 112.0}});
+  const Sampler c = make_sampler(util::microseconds(10),
+                                 {{0.0, 121.0}, {10.0, 122.0}, {20.0, 123.0}});
+  Reducer reducer(util::microseconds(10));
+  const std::vector<const Sampler*> samplers = {&a, &b, &c};
+  const GroupSeries tree = reducer.reduce(samplers, "rack");
+  const GroupSeries left = Reducer::merge(
+      Reducer::merge(reducer.align(a, ""), reducer.align(b, "")),
+      reducer.align(c, ""));
+  const GroupSeries right = Reducer::merge(
+      reducer.align(a, ""),
+      Reducer::merge(reducer.align(b, ""), reducer.align(c, "")));
+  EXPECT_EQ(tree.name, "rack");
+  ASSERT_EQ(tree.bins.size(), 3u);
+  for (const GroupSeries* other : {&left, &right}) {
+    ASSERT_EQ(other->bins.size(), tree.bins.size());
+    for (std::size_t i = 0; i < tree.bins.size(); ++i) {
+      EXPECT_EQ(tree.bins[i].time, other->bins[i].time);
+      EXPECT_EQ(tree.bins[i].nodes, other->bins[i].nodes);
+      EXPECT_DOUBLE_EQ(tree.bins[i].min_w, other->bins[i].min_w);
+      EXPECT_DOUBLE_EQ(tree.bins[i].mean_w, other->bins[i].mean_w);
+      EXPECT_DOUBLE_EQ(tree.bins[i].max_w, other->bins[i].max_w);
+      EXPECT_DOUBLE_EQ(tree.bins[i].sum_w, other->bins[i].sum_w);
+    }
+  }
+  // Spot-check the combined bin at t=0: three nodes, sum 333.
+  EXPECT_EQ(tree.bins[0].nodes, 3u);
+  EXPECT_DOUBLE_EQ(tree.bins[0].sum_w, 333.0);
+  EXPECT_DOUBLE_EQ(tree.bins[0].min_w, 101.0);
+  EXPECT_DOUBLE_EQ(tree.bins[0].max_w, 121.0);
+  EXPECT_NEAR(tree.bins[0].mean_w, 111.0, 1e-12);
+}
+
+// --- TraceWriter: serialized trace parses back as valid JSON ---
+
+const util::JsonValue* find_event(const util::JsonValue& events,
+                                  const std::string& name) {
+  for (std::size_t i = 0; i < events.as_array().size(); ++i) {
+    const util::JsonValue& e = events.as_array()[i];
+    const util::JsonValue* n = e.find("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TraceWriter, JsonParsesBackWithSpansInstantsAndMetadata) {
+  TraceWriter trace;
+  const std::uint32_t ipmi_track = trace.track("ipmi:node-0");
+  const std::uint32_t dcm_track = trace.track("dcm");
+  trace.span(ipmi_track, "ipmi", "SetPowerLimit", 100.0, 40.0,
+             {TraceArg::num("attempts", 3), TraceArg::str("outcome", "ok")});
+  trace.instant(dcm_track, "health", "node-0:degraded", 120.0,
+                {TraceArg::num("failures", 2)});
+  trace.counter(ipmi_track, "watts", 100.0, 131.5);
+  EXPECT_EQ(trace.event_count(), 3u);
+  EXPECT_EQ(trace.track_count(), 2u);
+
+  const auto parsed = util::parse_json(trace.json());
+  ASSERT_TRUE(parsed.has_value());
+  const util::JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 3 real events + one thread_name metadata event per track.
+  EXPECT_EQ(events->as_array().size(), 5u);
+
+  const util::JsonValue* span = find_event(*events, "SetPowerLimit");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->find("ph")->as_string(), "X");
+  EXPECT_DOUBLE_EQ(span->find("ts")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(span->find("dur")->as_number(), 40.0);
+  EXPECT_EQ(span->find("cat")->as_string(), "ipmi");
+  const util::JsonValue* span_args = span->find("args");
+  ASSERT_NE(span_args, nullptr);
+  EXPECT_DOUBLE_EQ(span_args->find("attempts")->as_number(), 3.0);
+  EXPECT_EQ(span_args->find("outcome")->as_string(), "ok");
+
+  const util::JsonValue* instant = find_event(*events, "node-0:degraded");
+  ASSERT_NE(instant, nullptr);
+  EXPECT_EQ(instant->find("ph")->as_string(), "i");
+  EXPECT_EQ(instant->find("s")->as_string(), "t");
+
+  const util::JsonValue* meta = find_event(*events, "thread_name");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->find("ph")->as_string(), "M");
+
+  // Counter event carries its value in args.
+  const util::JsonValue* counter = find_event(*events, "watts");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->find("ph")->as_string(), "C");
+}
+
+TEST(TraceWriter, DisabledWriterRecordsNothing) {
+  TraceWriter trace(false);
+  const std::uint32_t t = trace.track("quiet");
+  trace.span(t, "c", "n", 0.0, 1.0);
+  trace.instant(t, "c", "n", 0.0);
+  trace.counter(t, "n", 0.0, 1.0);
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+// --- NodeProbe annotations land in subsequent samples ---
+
+TEST(NodeProbe, AnnotationsStampIntoSamples) {
+  TelemetryConfig config;
+  config.enabled = true;
+  config.sample_period = util::microseconds(10);
+  NodeProbe probe(config, nullptr, nullptr, "n0");
+  ProbeInput in;
+  in.now = util::microseconds(10);
+  in.watts = 120.0;
+  probe.on_tick(in);
+  probe.note_cap(130.0);
+  probe.note_throttle_level(2);
+  probe.note_health(1);
+  in.now = util::microseconds(20);
+  probe.on_tick(in);
+  ASSERT_EQ(probe.sampler().size(), 2u);
+  const NodeSample& first = probe.sampler().series().at(0);
+  const NodeSample& second = probe.sampler().series().at(1);
+  EXPECT_DOUBLE_EQ(first.cap_w, 0.0);
+  EXPECT_EQ(first.throttle_level, 0u);
+  EXPECT_DOUBLE_EQ(second.cap_w, 130.0);
+  EXPECT_EQ(second.throttle_level, 2u);
+  EXPECT_EQ(second.health, 1);
+}
+
+TEST(NodeProbe, DisabledProbeNeverSamples) {
+  NodeProbe probe;  // default config: disabled
+  EXPECT_FALSE(probe.wants_sample(util::seconds(1)));
+  ProbeInput in;
+  in.now = util::seconds(1);
+  probe.on_tick(in);
+  EXPECT_EQ(probe.sampler().size(), 0u);
+}
+
+// --- The guarantee everything above rides on: telemetry is read-only ---
+
+harness::WorkloadFactory phased_factory() {
+  return [] {
+    apps::PhasedParams p;
+    p.phases = 3;
+    p.mean_phase_uops = 120000;
+    return std::make_unique<apps::PhasedWorkload>(p);
+  };
+}
+
+TEST(Telemetry, StudyResultsBitIdenticalOnAndOff) {
+  harness::StudyConfig off;
+  off.caps_w = {150.0, 125.0};
+  off.repetitions = 2;
+
+  harness::StudyConfig on = off;
+  on.telemetry.enabled = true;
+  on.telemetry.sample_period = util::microseconds(50);
+  std::vector<std::string> labels;
+  std::size_t sampled = 0;
+  on.telemetry_sink = [&](const std::string& label, const Sampler& sampler) {
+    labels.push_back(label);
+    sampled += sampler.size();
+  };
+
+  const harness::StudyResult a =
+      run_power_cap_study("phased", phased_factory(), off);
+  const harness::StudyResult b =
+      run_power_cap_study("phased", phased_factory(), on);
+
+  // The sink really ran and saw data (the probe is live, not a stub)...
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], "baseline");
+  EXPECT_EQ(labels[1], "cap-150");
+  EXPECT_EQ(labels[2], "cap-125");
+  if constexpr (kCompiledIn) {
+    EXPECT_GT(sampled, 0u);
+  } else {
+    EXPECT_EQ(sampled, 0u);  // node probe hook is compiled out
+  }
+
+  // ...and every measured quantity is bit-identical to the untelemetered
+  // run: the probe only reads.
+  const auto expect_identical = [](const harness::CellStats& x,
+                                   const harness::CellStats& y) {
+    EXPECT_EQ(x.time_s, y.time_s);
+    EXPECT_EQ(x.time_stddev_s, y.time_stddev_s);
+    EXPECT_EQ(x.avg_power_w, y.avg_power_w);
+    EXPECT_EQ(x.power_stddev_w, y.power_stddev_w);
+    EXPECT_EQ(x.energy_j, y.energy_j);
+    EXPECT_EQ(x.avg_frequency, y.avg_frequency);
+    EXPECT_EQ(x.avg_duty, y.avg_duty);
+    for (std::size_t i = 0; i < x.counters.size(); ++i) {
+      EXPECT_EQ(x.counters[i], y.counters[i]) << "counter " << i;
+    }
+  };
+  expect_identical(a.baseline, b.baseline);
+  ASSERT_EQ(a.capped.size(), b.capped.size());
+  for (std::size_t i = 0; i < a.capped.size(); ++i) {
+    expect_identical(a.capped[i], b.capped[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pcap::telemetry

@@ -7,6 +7,7 @@
 
 #include "util/ascii_chart.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -213,6 +214,79 @@ TEST(Chart, LogScaleHandlesDecades) {
   chart.set_log_y(true);
   chart.add_series({"s", {1.0, 1000.0}});
   EXPECT_FALSE(chart.render().empty());
+}
+
+TEST(TimeSeriesChart, PlacesPointsByTimestamp) {
+  TimeSeriesChart chart(40, 10);
+  // Two series with different cadences share the axis: the step lands in
+  // the right half of the grid even though the series lengths differ.
+  chart.add_series({"power", {0.0, 0.1, 0.2, 0.3, 0.4}, {150, 150, 150, 125, 125}});
+  chart.add_series({"cap", {0.0, 0.4}, {160, 120}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("x: time (s)"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("power"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  // The time axis is labelled with the data's endpoints.
+  EXPECT_NE(out.find("0.4"), std::string::npos);
+}
+
+TEST(TimeSeriesChart, FixedYRangeClampsOutliers) {
+  TimeSeriesChart chart(20, 6);
+  chart.set_y_range(100.0, 160.0);
+  chart.add_series({"w", {0.0, 1.0, 2.0}, {90.0, 130.0, 500.0}});
+  const std::string out = chart.render();
+  // Range labels come from the override, not the data.
+  EXPECT_NE(out.find("160"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_EQ(out.find("500"), std::string::npos);
+}
+
+TEST(TimeSeriesChart, EmptyRendersNothing) {
+  TimeSeriesChart chart(20, 6);
+  EXPECT_TRUE(chart.render().empty());
+  chart.add_series({"s", {}, {}});
+  EXPECT_TRUE(chart.render().empty());
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const auto doc = parse_json(
+      R"({"traceEvents":[{"name":"set-cap","ph":"i","ts":1.5,)"
+      R"("args":{"watts":150}}],"displayTimeUnit":"ms","ok":true,"n":null})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 1u);
+  const JsonValue& e = events->as_array()[0];
+  EXPECT_EQ(e.find("name")->as_string(), "set-cap");
+  EXPECT_DOUBLE_EQ(e.find("ts")->as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(e.find("args")->find("watts")->as_number(), 150.0);
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  EXPECT_TRUE(doc->find("n")->is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, ParsesEscapesAndNumbers) {
+  const auto doc = parse_json(R"(["a\"b\n\tA", -1.25e2, 0, []])");
+  ASSERT_TRUE(doc.has_value());
+  const JsonArray& a = doc->as_array();
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0].as_string(), "a\"b\n\tA");
+  EXPECT_DOUBLE_EQ(a[1].as_number(), -125.0);
+  EXPECT_TRUE(a[3].is_array());
+  EXPECT_TRUE(a[3].as_array().empty());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json(R"({"a":1,})").has_value());
+  EXPECT_FALSE(parse_json("[1 2]").has_value());
+  EXPECT_FALSE(parse_json(R"("unterminated)").has_value());
+  EXPECT_FALSE(parse_json("true false").has_value());  // trailing garbage
+  EXPECT_FALSE(parse_json("").has_value());
 }
 
 TEST(ThreadPool, RunsAllTasks) {

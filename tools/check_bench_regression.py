@@ -45,6 +45,16 @@ SPEEDUP_CASES = [
     "BM_ContextRmw",
 ]
 
+# Telemetry overhead gates: within-run ratios against the plain case, so no
+# baseline entry is needed and machine speed cancels out entirely. An
+# attached-but-disabled probe must be essentially free; an actively sampling
+# one (default 200 us period) must stay cheap.
+OVERHEAD_CASES = [
+    # (case, reference, max ratio)
+    ("BM_ContextLoadTelemetryIdle", "BM_ContextLoad", 1.02),
+    ("BM_ContextLoadTelemetry", "BM_ContextLoad", 1.05),
+]
+
 
 def load_times(path):
     with open(path) as f:
@@ -99,6 +109,19 @@ def main():
             verdict = f"TOO SLOW (< {MIN_SPEEDUP}x over per-access baseline)"
             failed = True
         print(f"  {case}: {speedup:.1f}x over per-access baseline  {verdict}")
+
+    for case, reference, limit in OVERHEAD_CASES:
+        if case not in now or reference not in now:
+            print(f"error: current run lacks {case} or {reference}")
+            failed = True
+            continue
+        ratio = now[case] / now[reference]
+        verdict = "ok"
+        if ratio > limit:
+            verdict = f"TOO SLOW (> {limit:.2f}x {reference})"
+            failed = True
+        print(f"  {case}: {ratio:.3f}x {reference} (limit {limit:.2f}x)  "
+              f"{verdict}")
 
     if failed:
         print("FAIL: simulator speed gate")
