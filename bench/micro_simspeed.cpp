@@ -9,6 +9,7 @@
 #include "core/bmc.hpp"
 #include "mem/dram.hpp"
 #include "power/model.hpp"
+#include "sched/policy.hpp"
 #include "sim/execution_context.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/node.hpp"
@@ -189,6 +190,83 @@ void BM_PowerModel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PowerModel);
+
+// Scheduler replan cases: the policy decision runs at every cluster event
+// (arrival, chunk completion), so it must stay trivially cheap next to the
+// chunk simulation it schedules. The amenability policy's 1 W watt-filling
+// loop is the expensive one; it is gated against the uniform baseline plan
+// as a within-run ratio (OVERHEAD_CASES in tools/check_bench_regression.py),
+// so machine speed cancels out.
+sched::AmenabilityTable make_synthetic_table() {
+  // Synthetic knee curves (bench-local; production tables come from
+  // characterisation JSON): slowdown explodes below 135 W at a per-class
+  // steepness so the watt-filling loop has real work to do.
+  sched::AmenabilityTable table;
+  const double steep[] = {10.5, 11.4, 3.0, 16.7};
+  for (int c = 0; c < sched::kJobClassCount; ++c) {
+    sched::ClassCurve curve;
+    curve.cls = static_cast<sched::JobClass>(c);
+    curve.baseline_power_w = 155.0;
+    curve.baseline_time_s = 500e-6;
+    curve.usable_floor_w = 135.0;
+    for (const double cap : {115.0, 120.0, 125.0, 130.0, 135.0, 150.0}) {
+      core::AmenabilityPoint p;
+      p.cap_w = cap;
+      p.measured_power_w = std::min(cap, 155.0);
+      const double depth = std::max(0.0, 135.0 - cap) / 15.0;
+      p.slowdown = 1.0 + (steep[c] - 1.0) * depth;
+      p.energy_ratio = p.slowdown * p.measured_power_w / 155.0;
+      curve.points.push_back(p);
+    }
+    table.set_curve(curve);
+  }
+  return table;
+}
+
+sched::PlanInput make_plan_input(const sched::AmenabilityTable* table,
+                                 const sched::OnlinePowerModel* model) {
+  sched::PlanInput input;
+  input.budget_w = 1080.0;
+  input.now_s = 1e-3;
+  input.table = table;
+  input.model = model;
+  for (std::size_t i = 0; i < 8; ++i) {
+    sched::NodeView view;
+    view.index = i;
+    view.busy = i % 4 != 3;  // two idle nodes, six busy across all classes
+    view.cls = static_cast<sched::JobClass>(i % sched::kJobClassCount);
+    view.remaining_chunks = static_cast<int>(2 + i);
+    view.applied_cap_w = 135.0;
+    input.nodes.push_back(view);
+  }
+  input.queued.push_back({sched::JobClass::kStrideLike, 6, std::nullopt});
+  input.queued.push_back({sched::JobClass::kPhased, 4, std::nullopt});
+  return input;
+}
+
+void BM_SchedPlanUniform(benchmark::State& state) {
+  const sched::AmenabilityTable table = make_synthetic_table();
+  sched::OnlinePowerModel model;
+  model.set_table(&table);
+  const sched::PlanInput input = make_plan_input(&table, &model);
+  auto policy = sched::make_policy("uniform");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->plan(input).cap_w.data());
+  }
+}
+BENCHMARK(BM_SchedPlanUniform);
+
+void BM_SchedPlanAmenability(benchmark::State& state) {
+  const sched::AmenabilityTable table = make_synthetic_table();
+  sched::OnlinePowerModel model;
+  model.set_table(&table);
+  const sched::PlanInput input = make_plan_input(&table, &model);
+  auto policy = sched::make_policy("amenability");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->plan(input).cap_w.data());
+  }
+}
+BENCHMARK(BM_SchedPlanAmenability);
 
 void BM_BmcControlTick(benchmark::State& state) {
   sim::Node node(sim::MachineConfig::romley());

@@ -2,50 +2,116 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string_view>
+#include <vector>
 
 namespace pcap::harness {
+
+namespace {
+
+/// One row of the flag table. Flags with an empty `placeholder` are bare
+/// booleans ("--full"); the rest take "=VALUE" and hand the value text to
+/// their setter. The --help listing is generated from these same rows.
+struct OptionSpec {
+  std::string_view name;         // "--reps"
+  std::string_view placeholder;  // "N", or "" for bare flags
+  std::string_view help;
+  std::function<void(CliOptions&, std::string_view)> apply;
+};
+
+int to_int(std::string_view text) {
+  return std::atoi(std::string(text).c_str());
+}
+double to_double(std::string_view text) {
+  return std::atof(std::string(text).c_str());
+}
+
+const std::vector<OptionSpec>& option_table() {
+  static const std::vector<OptionSpec> table = {
+      {"--full", "",
+       "paper-scale repetitions/grids (default is a quick run)",
+       [](CliOptions& o, std::string_view) { o.full = true; }},
+      {"--reps", "N", "repetition override",
+       [](CliOptions& o, std::string_view v) { o.reps = to_int(v); }},
+      {"--jobs", "N", "worker threads for independent cells",
+       [](CliOptions& o, std::string_view v) {
+         o.jobs = static_cast<std::size_t>(to_int(v));
+         if (o.jobs == 0) o.jobs = 1;
+       }},
+      {"--csv-dir", "PATH", "where result CSVs land (default \"results\")",
+       [](CliOptions& o, std::string_view v) { o.csv_dir = std::string(v); }},
+      {"--seed", "N", "base RNG seed",
+       [](CliOptions& o, std::string_view v) {
+         o.seed = static_cast<std::uint64_t>(
+             std::atoll(std::string(v).c_str()));
+       }},
+      {"--telemetry", "", "enable per-node time-series sampling",
+       [](CliOptions& o, std::string_view) { o.telemetry = true; }},
+      {"--telemetry-period", "US",
+       "sampling period in simulated microseconds",
+       [](CliOptions& o, std::string_view v) {
+         o.telemetry_period_us = to_double(v);
+         if (o.telemetry_period_us <= 0.0) {
+           o.telemetry_period_us = 0.0;  // fall back to binary default
+         }
+       }},
+      {"--trace-out", "PATH",
+       "write a Chrome trace-event JSON (open in ui.perfetto.dev)",
+       [](CliOptions& o, std::string_view v) { o.trace_out = std::string(v); }},
+      {"--policy", "NAME",
+       "scheduler policy (uniform|greedy|amenability|race-to-idle; sched "
+       "binaries, empty = sweep all)",
+       [](CliOptions& o, std::string_view v) { o.policy = std::string(v); }},
+      {"--budget", "W", "group power budget in watts (sched binaries)",
+       [](CliOptions& o, std::string_view v) {
+         o.budget_w = to_double(v);
+         if (o.budget_w < 0.0) o.budget_w = 0.0;
+       }},
+      {"--arrivals", "N", "job-stream length (sched binaries)",
+       [](CliOptions& o, std::string_view v) { o.arrivals = to_int(v); }},
+  };
+  return table;
+}
+
+void print_usage() {
+  std::printf("flags:\n");
+  for (const OptionSpec& spec : option_table()) {
+    std::string left(spec.name);
+    if (!spec.placeholder.empty()) {
+      left += "=";
+      left += spec.placeholder;
+    }
+    std::printf("  %-22s %.*s\n", left.c_str(),
+                static_cast<int>(spec.help.size()), spec.help.data());
+  }
+}
+
+}  // namespace
 
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
-    auto value_of = [&](std::string_view prefix) -> std::string_view {
-      return arg.substr(prefix.size());
-    };
-    if (arg == "--full") {
-      options.full = true;
-    } else if (arg.rfind("--reps=", 0) == 0) {
-      options.reps = std::atoi(std::string(value_of("--reps=")).c_str());
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      options.jobs = static_cast<std::size_t>(
-          std::atoi(std::string(value_of("--jobs=")).c_str()));
-      if (options.jobs == 0) options.jobs = 1;
-    } else if (arg.rfind("--csv-dir=", 0) == 0) {
-      options.csv_dir = std::string(value_of("--csv-dir="));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      options.seed = static_cast<std::uint64_t>(
-          std::atoll(std::string(value_of("--seed=")).c_str()));
-    } else if (arg == "--telemetry") {
-      options.telemetry = true;
-    } else if (arg.rfind("--telemetry-period=", 0) == 0) {
-      options.telemetry_period_us =
-          std::atof(std::string(value_of("--telemetry-period=")).c_str());
-      if (options.telemetry_period_us <= 0.0) {
-        options.telemetry_period_us = 0.0;  // fall back to binary default
-      }
-    } else if (arg.rfind("--trace-out=", 0) == 0) {
-      options.trace_out = std::string(value_of("--trace-out="));
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "flags: --full --reps=N --jobs=N --csv-dir=PATH --seed=N\n"
-          "       --telemetry --telemetry-period=US --trace-out=PATH\n"
-          "  --full uses paper-scale repetitions; default is a quick run.\n"
-          "  --telemetry samples node power/frequency/counters; the period\n"
-          "  is simulated microseconds. --trace-out writes a Chrome\n"
-          "  trace-event JSON (open in ui.perfetto.dev).\n");
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
       std::exit(0);
     }
+    for (const OptionSpec& spec : option_table()) {
+      if (spec.placeholder.empty()) {
+        if (arg == spec.name) {
+          spec.apply(options, {});
+          break;
+        }
+        continue;
+      }
+      if (arg.size() > spec.name.size() + 1 &&
+          arg.rfind(spec.name, 0) == 0 && arg[spec.name.size()] == '=') {
+        spec.apply(options, arg.substr(spec.name.size() + 1));
+        break;
+      }
+    }
+    // Unknown arguments are ignored (google-benchmark passes its own).
   }
   return options;
 }

@@ -8,6 +8,14 @@
 //   --telemetry-period=US  sampling period in simulated microseconds
 //   --trace-out=PATH       write a Chrome trace-event JSON (implies sampling
 //                          where the binary supports it)
+//   --policy=NAME          scheduler policy (sched binaries; "" = sweep all)
+//   --budget=W             group power budget in watts (sched binaries)
+//   --arrivals=N           job-stream length (sched binaries)
+//
+// Parsing is table-driven: each flag is one OptionSpec row (name, value
+// placeholder, help, setter) and the --help text is generated from the same
+// rows, so a new flag is a one-line addition that cannot drift from its
+// documentation.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,9 @@ struct CliOptions {
   bool telemetry = false;
   double telemetry_period_us = 0.0;  // 0: binary default (200 us)
   std::string trace_out;             // empty: no trace file
+  std::string policy;                // empty: binary default / full sweep
+  double budget_w = 0.0;             // 0: binary default
+  int arrivals = 0;                  // 0: binary default
 
   /// Effective repetitions: explicit --reps wins, else full ? 5 : quick_reps.
   int repetitions(int quick_reps) const {

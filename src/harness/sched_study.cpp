@@ -1,0 +1,125 @@
+#include "harness/sched_study.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+
+namespace pcap::harness {
+
+std::vector<SchedStudyRow> run_sched_study(const SchedStudyConfig& config) {
+  std::vector<std::string> policies = config.policies;
+  if (policies.empty()) policies = sched::policy_names();
+
+  sched::ArrivalConfig arrivals = config.arrivals;
+  arrivals.seed = config.seed;
+  const std::vector<sched::JobSpec> stream =
+      sched::generate_stream(arrivals);
+
+  std::vector<SchedStudyRow> rows;
+  for (const double budget_w : config.budgets_w) {
+    for (const std::string& policy : policies) {
+      sched::SchedulerConfig sc;
+      sc.node_count = config.node_count;
+      sc.budget_w = budget_w;
+      sc.policy_name = policy;
+      sc.seed = config.seed;
+      sc.jobs = config.jobs;
+      sc.faults = config.faults;
+      sc.table = config.table;
+      sched::ClusterScheduler scheduler(sc);
+      SchedStudyRow row;
+      row.policy = policy;
+      row.budget_w = budget_w;
+      row.result = scheduler.run(stream);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+sched::AmenabilityTable load_or_characterize(
+    const std::string& path, const sched::CharacterizeOptions& options) {
+  if (auto loaded = sched::AmenabilityTable::load(path)) {
+    if (loaded->complete()) return *loaded;
+    std::printf("amenability table %s incomplete; re-characterising\n",
+                path.c_str());
+  }
+  sched::AmenabilityTable table = sched::characterize_job_classes(options);
+  table.save(path);
+  return table;
+}
+
+void write_sched_csv(const std::string& path,
+                     const std::vector<SchedStudyRow>& rows) {
+  util::CsvWriter csv(path);
+  csv.row({"policy", "budget_w", "makespan_s", "busy_energy_j",
+           "idle_energy_j", "total_energy_j", "deadline_misses",
+           "mean_turnaround_s", "replans", "cap_updates",
+           "cap_update_failures", "infeasible_plans", "budget_violations",
+           "max_cap_sum_w", "chunks", "mgmt_retries",
+           "mgmt_failed_exchanges"});
+  for (const SchedStudyRow& row : rows) {
+    const sched::ScheduleResult& r = row.result;
+    csv.field(row.policy)
+        .field(row.budget_w)
+        .field(r.makespan_s)
+        .field(r.busy_energy_j)
+        .field(r.idle_energy_j)
+        .field(r.total_energy_j)
+        .field(static_cast<std::int64_t>(r.deadline_misses))
+        .field(r.mean_turnaround_s)
+        .field(r.replans)
+        .field(r.cap_updates)
+        .field(r.cap_update_failures)
+        .field(r.infeasible_plans)
+        .field(r.budget_violations)
+        .field(r.max_cap_sum_w)
+        .field(r.chunks)
+        .field(r.mgmt_retries)
+        .field(r.mgmt_failed_exchanges);
+    csv.end_row();
+  }
+}
+
+std::string render_sched_chart(const std::vector<SchedStudyRow>& rows,
+                               const std::string& metric) {
+  // Collect the budget axis (sorted unique) and one series per policy.
+  std::vector<double> budgets;
+  for (const SchedStudyRow& row : rows) budgets.push_back(row.budget_w);
+  std::sort(budgets.begin(), budgets.end());
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+
+  auto value_of = [&](const SchedStudyRow& row) {
+    if (metric == "energy") return row.result.total_energy_j;
+    if (metric == "turnaround") return row.result.mean_turnaround_s * 1e6;
+    return row.result.makespan_s * 1e6;  // makespan, in simulated us
+  };
+
+  std::map<std::string, std::vector<double>> series;
+  for (const SchedStudyRow& row : rows) {
+    auto& values = series[row.policy];
+    values.resize(budgets.size(), 0.0);
+    const auto it = std::lower_bound(budgets.begin(), budgets.end(),
+                                     row.budget_w);
+    values[static_cast<std::size_t>(it - budgets.begin())] = value_of(row);
+  }
+
+  std::vector<std::string> labels;
+  for (const double b : budgets) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", b);
+    labels.emplace_back(buf);
+  }
+  util::AsciiChart chart(labels);
+  chart.set_title(metric + " vs group budget (W)");
+  chart.set_y_label(metric == "energy" ? "J" : "us");
+  for (auto& [name, values] : series) {
+    chart.add_series({name, std::move(values)});
+  }
+  return chart.render();
+}
+
+}  // namespace pcap::harness

@@ -1,0 +1,58 @@
+// Scheduler policy-sweep study shared by bench/ext_scheduler_policies and
+// examples/cluster_schedule: characterise (or load) the per-class
+// amenability table, run every requested policy x budget cell, and render
+// the results as CSV rows and console charts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipmi/transport.hpp"
+#include "sched/amenability_table.hpp"
+#include "sched/arrivals.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pcap::harness {
+
+struct SchedStudyConfig {
+  std::size_t node_count = 8;
+  /// Policies to sweep; empty selects sched::policy_names().
+  std::vector<std::string> policies;
+  /// Group budgets (W) to sweep, one column per value.
+  std::vector<double> budgets_w;
+  sched::ArrivalConfig arrivals;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 1;
+  std::optional<ipmi::FaultSpec> faults;
+  /// Required: the measured slowdown curves (load_or_characterize()).
+  const sched::AmenabilityTable* table = nullptr;
+};
+
+/// One policy x budget cell of the sweep.
+struct SchedStudyRow {
+  std::string policy;
+  double budget_w = 0.0;
+  sched::ScheduleResult result;
+};
+
+/// Runs the full sweep. Every cell replays the same seeded arrival stream
+/// on a fresh rack, so cells differ only in policy and budget.
+std::vector<SchedStudyRow> run_sched_study(const SchedStudyConfig& config);
+
+/// Loads a previously exported amenability table from `path`, or — when the
+/// file is missing, unreadable, or incomplete — characterises every job
+/// class and saves the result to `path` for the next run.
+sched::AmenabilityTable load_or_characterize(
+    const std::string& path, const sched::CharacterizeOptions& options);
+
+/// Writes the sweep as CSV: one row per cell with makespan, energy,
+/// deadline misses, turnaround, and the management-plane accounting.
+void write_sched_csv(const std::string& path,
+                     const std::vector<SchedStudyRow>& rows);
+
+/// Renders makespan-vs-budget (one series per policy) as an ASCII chart.
+std::string render_sched_chart(const std::vector<SchedStudyRow>& rows,
+                               const std::string& metric = "makespan");
+
+}  // namespace pcap::harness

@@ -1,0 +1,73 @@
+// Machine-readable amenability characterisation for the scheduler.
+//
+// The single-node reproduction measures slowdown-vs-cap curves with
+// core::AmenabilityAnalyzer; this table is their exported, per-job-class
+// form: a piecewise-linear slowdown curve, the measured wall power at each
+// cap, and the derived usable-cap floor. Tables serialize to JSON (via
+// util/json.hpp) so a site can characterise once, persist the result, and
+// feed every subsequent scheduling run from the file — there are no
+// hard-coded slowdown tables anywhere in src/sched/.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/amenability.hpp"
+#include "sched/job.hpp"
+#include "sim/machine_config.hpp"
+#include "util/json.hpp"
+
+namespace pcap::sched {
+
+struct ClassCurve {
+  JobClass cls = JobClass::kSireLike;
+  double baseline_power_w = 0.0;  // uncapped draw while running this class
+  double baseline_time_s = 0.0;   // uncapped time of one chunk
+  double usable_floor_w = 0.0;    // lowest cap within the slowdown tolerance
+  std::vector<core::AmenabilityPoint> points;  // sorted by cap_w ascending
+
+  /// Piecewise-linear slowdown at `cap_w`, clamped at the curve's ends
+  /// (above the top cap the workload is effectively uncapped: 1.0).
+  double slowdown_at(double cap_w) const;
+  /// Measured wall power at `cap_w` (same interpolation).
+  double power_at(double cap_w) const;
+};
+
+class AmenabilityTable {
+ public:
+  void set_curve(ClassCurve curve);
+  const ClassCurve* curve(JobClass cls) const;
+  bool complete() const;  // every job class has a curve
+  std::size_t size() const;
+
+  /// Builds the curve list from a per-class analyzer report (points are
+  /// re-sorted by ascending cap).
+  static ClassCurve from_report(JobClass cls,
+                                const core::AmenabilityReport& report,
+                                double usable_floor_w);
+
+  // --- JSON round-trip (schema "pcap-amenability-v1") ---
+  util::JsonValue to_json() const;
+  static std::optional<AmenabilityTable> from_json(const util::JsonValue& v);
+  void save(const std::string& path) const;
+  static std::optional<AmenabilityTable> load(const std::string& path);
+
+ private:
+  std::array<std::optional<ClassCurve>, kJobClassCount> curves_;
+};
+
+struct CharacterizeOptions {
+  std::vector<double> caps_w = {160, 150, 140, 135, 130, 125, 120, 115};
+  double slowdown_tolerance = 1.25;
+  int repetitions = 1;
+  std::uint64_t seed = 1;
+  sim::MachineConfig machine = sim::MachineConfig::romley();
+};
+
+/// Measures one chunk of every job class across the cap grid on a fresh
+/// node (the scheduler's own amenability screen) and returns the table.
+AmenabilityTable characterize_job_classes(const CharacterizeOptions& options);
+
+}  // namespace pcap::sched

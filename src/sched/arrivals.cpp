@@ -1,0 +1,58 @@
+#include "sched/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pcap::sched {
+
+std::vector<JobSpec> generate_stream(const ArrivalConfig& config) {
+  util::Rng rng(config.seed);
+  double weight_total = 0.0;
+  for (const double w : config.class_weights) weight_total += std::max(w, 0.0);
+
+  std::vector<JobSpec> stream;
+  stream.reserve(static_cast<std::size_t>(std::max(config.job_count, 0)));
+  double t = 0.0;
+  for (int i = 0; i < config.job_count; ++i) {
+    JobSpec job;
+    job.id = i;
+
+    // Exponential interarrival gap (inverse-CDF on one uniform draw).
+    const double u = std::max(rng.uniform(), 1e-12);
+    t += -config.mean_interarrival_s * std::log(u);
+    job.arrival_s = t;
+
+    // Weighted class pick.
+    double pick = rng.uniform() * (weight_total > 0.0 ? weight_total : 1.0);
+    job.cls = JobClass::kSireLike;
+    for (int c = 0; c < kJobClassCount; ++c) {
+      const double w = std::max(config.class_weights[static_cast<std::size_t>(c)], 0.0);
+      if (pick < w) {
+        job.cls = static_cast<JobClass>(c);
+        break;
+      }
+      pick -= w;
+    }
+
+    job.chunks = static_cast<int>(
+        rng.between(config.min_chunks, std::max(config.min_chunks, config.max_chunks)));
+    if (config.deadline_fraction > 0.0 && rng.chance(config.deadline_fraction)) {
+      job.deadline_s = job.arrival_s + config.deadline_factor *
+                                           static_cast<double>(job.chunks) *
+                                           config.chunk_time_hint_s;
+    }
+    job.seed = rng();
+    stream.push_back(job);
+  }
+  // Arrival times are already non-decreasing by construction; keep the sort
+  // as a guard for future arrival processes (stable on id ties).
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  return stream;
+}
+
+}  // namespace pcap::sched

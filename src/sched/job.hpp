@@ -1,0 +1,66 @@
+// Job model for the cluster power scheduler (DESIGN.md §11).
+//
+// A job is a stream of identical work chunks of one job class. Classes map
+// onto the paper's workload taxonomy: SIRE-like streaming (DRAM-bound),
+// Stereo-like cache-resident compute, the stride microbenchmark's
+// TLB/cache-antagonistic pattern, and the phased/unpredictable synthetic
+// mix. Each chunk is a real simulated workload (the same ExecutionContext
+// machinery the single-node reproduction uses), so a capped node slows a
+// job down through the genuine BMC throttle ladder — the scheduler never
+// assumes a slowdown, it only *predicts* one from amenability curves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/workload.hpp"
+
+namespace pcap::sched {
+
+enum class JobClass : std::uint8_t {
+  kSireLike = 0,   // streaming / DRAM-bandwidth bound (amenable to DVFS)
+  kStereoLike,     // cache-resident compute (cap-sensitive below the knee)
+  kStrideLike,     // strided, TLB/cache antagonistic
+  kPhased,         // unpredictable compute/memory phase mix
+};
+inline constexpr int kJobClassCount = 4;
+
+std::string job_class_name(JobClass cls);
+/// Inverse of job_class_name; nullopt for an unknown name.
+std::optional<JobClass> job_class_from_name(const std::string& name);
+
+struct JobSpec {
+  int id = 0;
+  JobClass cls = JobClass::kSireLike;
+  double arrival_s = 0.0;  // simulated seconds
+  int chunks = 1;          // work units; each is one chunk workload run
+  std::optional<double> deadline_s;  // absolute simulated deadline
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one job, filled in by the scheduler as it runs.
+struct JobRecord {
+  JobSpec spec;
+  int node = -1;           // rack slot the job ran on
+  double start_s = -1.0;   // first chunk dispatch time
+  double finish_s = -1.0;  // last chunk completion time
+  double energy_j = 0.0;   // busy energy of the job's chunks
+  double avg_power_w = 0.0;
+  int chunks_done = 0;
+  bool missed_deadline = false;
+
+  bool done() const { return chunks_done >= spec.chunks; }
+};
+
+/// Builds the chunk workload for `cls`. Chunks are sized so one chunk spans
+/// a few dozen BMC control periods (the cap visibly bites within a chunk)
+/// while staying cheap enough that policy sweeps run in seconds. The seed
+/// decorrelates stochastic chunk internals between jobs; a given
+/// (class, seed, chunk_index) always builds a bit-identical workload.
+std::unique_ptr<sim::Workload> make_chunk_workload(JobClass cls,
+                                                   std::uint64_t seed,
+                                                   int chunk_index);
+
+}  // namespace pcap::sched

@@ -1,0 +1,298 @@
+// The four shipped cap-allocation policies.
+//
+// All of them share the same skeleton: compute the effective budget (group
+// budget minus reservations held by unreachable nodes), give every
+// available node the enforceable floor, spend the surplus according to the
+// policy's idea of value, and finally spread any unspent watts evenly so a
+// generous budget always degenerates to the unthrottled baseline schedule
+// (leaving surplus on the table would be both wasteful and would break the
+// policy-equivalence invariant the tests pin).
+#include "sched/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pcap::sched {
+
+namespace {
+
+/// Cap headroom granted over a node's predicted demand: enough that sensor
+/// noise and phase peaks never engage the throttle ladder when the budget
+/// can afford full speed.
+constexpr double kDemandHeadroomW = 8.0;
+
+struct Workspace {
+  double effective_budget_w = 0.0;
+  std::vector<std::size_t> available;       // indices into input.nodes
+  std::vector<double> demand_w;             // per node (0 for parked idle)
+  std::vector<std::optional<JobClass>> prospective;  // queued job per idle node
+};
+
+/// Demand of the job a node is running, or of the queued job the scheduler
+/// would place on it this round (FIFO onto idle nodes in index order) —
+/// the same rule ClusterScheduler::place_jobs uses.
+Workspace analyze(const PlanInput& input) {
+  Workspace ws;
+  ws.effective_budget_w = input.budget_w;
+  ws.demand_w.assign(input.nodes.size(), 0.0);
+  ws.prospective.assign(input.nodes.size(), std::nullopt);
+  for (const NodeView& node : input.nodes) {
+    if (!node.available) {
+      ws.effective_budget_w -= node.applied_cap_w.value_or(input.min_cap_w);
+      continue;
+    }
+    ws.available.push_back(node.index);
+  }
+  std::size_t next_queued = 0;
+  for (const std::size_t i : ws.available) {
+    const NodeView& node = input.nodes[i];
+    if (node.busy) {
+      ws.demand_w[i] =
+          input.model->predict_uncapped_w(node.cls) + kDemandHeadroomW;
+    } else if (next_queued < input.queued.size()) {
+      const JobClass cls = input.queued[next_queued++].cls;
+      ws.prospective[i] = cls;
+      ws.demand_w[i] = input.model->predict_uncapped_w(cls) + kDemandHeadroomW;
+    }
+  }
+  return ws;
+}
+
+Plan floor_plan(const PlanInput& input) {
+  Plan plan;
+  plan.cap_w.assign(input.nodes.size(), input.min_cap_w);
+  plan.admit.assign(input.nodes.size(), false);
+  for (const NodeView& node : input.nodes) {
+    plan.admit[node.index] = node.available;
+  }
+  return plan;
+}
+
+/// Splits `surplus` evenly over `targets`, respecting max_cap_w. Returns
+/// the watts actually spent.
+double spread_evenly(Plan& plan, const PlanInput& input,
+                     const std::vector<std::size_t>& targets, double surplus) {
+  double spent = 0.0;
+  if (targets.empty() || surplus <= 0.0) return spent;
+  const double share = surplus / static_cast<double>(targets.size());
+  for (const std::size_t i : targets) {
+    const double grant =
+        std::min(share, input.max_cap_w - plan.cap_w[i]);
+    if (grant <= 0.0) continue;
+    plan.cap_w[i] += grant;
+    spent += grant;
+  }
+  return spent;
+}
+
+double floor_total(const PlanInput& input, const Workspace& ws) {
+  return input.min_cap_w * static_cast<double>(ws.available.size());
+}
+
+// --- uniform --------------------------------------------------------------
+
+/// The baseline every DCM offers out of the box: the group budget split
+/// evenly across reachable nodes, blind to what anyone is running.
+class UniformCapPolicy final : public Policy {
+ public:
+  std::string name() const override { return "uniform"; }
+
+  Plan plan(const PlanInput& input) override {
+    const Workspace ws = analyze(input);
+    Plan p = floor_plan(input);
+    spread_evenly(p, input, ws.available,
+                  ws.effective_budget_w - floor_total(input, ws));
+    return p;
+  }
+};
+
+// --- greedy power-first ---------------------------------------------------
+
+/// Serves measured demand, hungriest node first: each node asks for its
+/// predicted draw plus headroom; whatever remains is spread evenly. Good
+/// when the budget roughly covers total demand, degrades to uniform-like
+/// arbitrary squeezing below that (it knows watts, not slowdowns).
+class GreedyPowerFirstPolicy final : public Policy {
+ public:
+  std::string name() const override { return "greedy"; }
+
+  Plan plan(const PlanInput& input) override {
+    const Workspace ws = analyze(input);
+    Plan p = floor_plan(input);
+    double surplus = ws.effective_budget_w - floor_total(input, ws);
+
+    std::vector<std::size_t> order = ws.available;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return ws.demand_w[a] > ws.demand_w[b];
+                     });
+    for (const std::size_t i : order) {
+      if (surplus <= 0.0) break;
+      const double want = std::max(0.0, ws.demand_w[i] - p.cap_w[i]);
+      const double grant =
+          std::min({want, surplus, input.max_cap_w - p.cap_w[i]});
+      p.cap_w[i] += grant;
+      surplus -= grant;
+    }
+    spread_evenly(p, input, ws.available, surplus);
+    return p;
+  }
+};
+
+// --- amenability-model-driven ---------------------------------------------
+
+/// Minimises the predicted makespan by watt-filling on the measured
+/// slowdown-vs-cap curves: every candidate watt goes to the node whose
+/// predicted completion (remaining baseline work x slowdown at its current
+/// cap) is furthest out. Cap-sensitive jobs (steep below the ~135 W knee)
+/// dominate the completion estimate at deep caps, so they are pulled above
+/// their knee first, while cap-tolerant streaming jobs — whose curves stay
+/// flat — are left to absorb the deep caps: the paper's §V scheduling
+/// story, executed. (A plain "best marginal gain x remaining work" greedy
+/// is tempting but wrong for makespan: it starves short low-weight jobs at
+/// the floor, far below the knee, and any job left there defines the
+/// makespan.)
+class AmenabilityPolicy final : public Policy {
+ public:
+  std::string name() const override { return "amenability"; }
+
+  Plan plan(const PlanInput& input) override {
+    const Workspace ws = analyze(input);
+    Plan p = floor_plan(input);
+    double surplus = ws.effective_budget_w - floor_total(input, ws);
+
+    // Predicted remaining baseline work per node (seconds uncapped), and
+    // the class curve converting a cap into a predicted slowdown.
+    std::vector<double> work_s(input.nodes.size(), 0.0);
+    std::vector<const ClassCurve*> curve(input.nodes.size(), nullptr);
+    // Walks the ready queue in the same FIFO order analyze() used to fill
+    // `prospective`, so each idle node sees its own queued job's size.
+    std::size_t next_queued = 0;
+    for (const std::size_t i : ws.available) {
+      const NodeView& node = input.nodes[i];
+      std::optional<JobClass> cls;
+      double chunks = 0.0;
+      if (node.busy) {
+        cls = node.cls;
+        chunks = static_cast<double>(node.remaining_chunks);
+      } else if (ws.prospective[i]) {
+        cls = *ws.prospective[i];
+        chunks = static_cast<double>(
+            std::max(1, input.queued[next_queued++].chunks));
+      }
+      if (!cls) continue;
+      const ClassCurve* c =
+          input.table != nullptr ? input.table->curve(*cls) : nullptr;
+      curve[i] = c;
+      const double chunk_s = c != nullptr && c->baseline_time_s > 0.0
+                                 ? c->baseline_time_s
+                                 : 1.0;
+      work_s[i] = std::max(chunks, 1.0) * chunk_s;
+    }
+
+    // Min-max watt-filling in kStepW increments: repeatedly fund the node
+    // with the latest predicted completion that can still improve. N is
+    // rack-sized and budgets are O(kW), so the loop is cheap.
+    constexpr double kStepW = 1.0;
+    auto completion_s = [&](std::size_t i) {
+      return work_s[i] * (curve[i] != nullptr
+                              ? curve[i]->slowdown_at(p.cap_w[i])
+                              : 1.0);
+    };
+    auto can_improve = [&](std::size_t i) {
+      if (curve[i] == nullptr || work_s[i] <= 0.0) return false;
+      const double limit = std::min(input.max_cap_w, ws.demand_w[i]);
+      if (p.cap_w[i] + kStepW > limit) return false;
+      return curve[i]->slowdown_at(p.cap_w[i]) -
+                 curve[i]->slowdown_at(p.cap_w[i] + kStepW) >
+             0.0;
+    };
+    std::vector<std::size_t> candidates;
+    for (const std::size_t i : ws.available) {
+      if (can_improve(i)) candidates.push_back(i);
+    }
+    while (surplus >= kStepW && !candidates.empty()) {
+      std::size_t best = candidates.front();
+      for (const std::size_t i : candidates) {
+        if (completion_s(i) > completion_s(best)) best = i;
+      }
+      p.cap_w[best] += kStepW;
+      surplus -= kStepW;
+      if (!can_improve(best)) {
+        candidates.erase(
+            std::find(candidates.begin(), candidates.end(), best));
+      }
+    }
+    spread_evenly(p, input, ws.available, surplus);
+    return p;
+  }
+};
+
+// --- race-to-idle / consolidation -----------------------------------------
+
+/// Concentrates the budget on as few nodes as possible running at full
+/// speed; the rest are parked at the floor and closed to new work. Running
+/// a node deep under its knee wastes energy, so consolidation competes
+/// well on makespan and energy — but parked nodes defer queued jobs, and
+/// the sweep quantifies the turnaround cost (the paper's §II-B platform
+/// keeps even parked nodes idling at ~100 W, so the energy win is smaller
+/// than the cap arithmetic alone would suggest).
+class RaceToIdlePolicy final : public Policy {
+ public:
+  std::string name() const override { return "race-to-idle"; }
+
+  Plan plan(const PlanInput& input) override {
+    const Workspace ws = analyze(input);
+    Plan p = floor_plan(input);
+    double surplus = ws.effective_budget_w - floor_total(input, ws);
+
+    // Busy nodes must keep running: fund them first, index order.
+    std::vector<std::size_t> funded;
+    for (const std::size_t i : ws.available) {
+      if (!input.nodes[i].busy) continue;
+      const double want = std::max(0.0, ws.demand_w[i] - p.cap_w[i]);
+      const double grant =
+          std::min({want, surplus, input.max_cap_w - p.cap_w[i]});
+      p.cap_w[i] += grant;
+      surplus -= grant;
+      funded.push_back(i);
+    }
+    // Then open idle nodes one at a time, but only when the remaining
+    // surplus covers the next queued job at full speed.
+    for (const std::size_t i : ws.available) {
+      const NodeView& node = input.nodes[i];
+      if (node.busy) continue;
+      const double want = std::max(0.0, ws.demand_w[i] - p.cap_w[i]);
+      if (!ws.prospective[i] || want > surplus + 1e-9) {
+        p.admit[i] = false;  // parked
+        continue;
+      }
+      const double grant = std::min(want, input.max_cap_w - p.cap_w[i]);
+      p.cap_w[i] += grant;
+      surplus -= grant;
+      funded.push_back(i);
+    }
+    // Leftover watts accelerate nothing here — spend them on the active
+    // set so a generous budget reproduces the baseline schedule exactly.
+    std::sort(funded.begin(), funded.end());
+    spread_evenly(p, input, funded.empty() ? ws.available : funded, surplus);
+    return p;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(const std::string& name) {
+  if (name == "uniform") return std::make_unique<UniformCapPolicy>();
+  if (name == "greedy") return std::make_unique<GreedyPowerFirstPolicy>();
+  if (name == "amenability") return std::make_unique<AmenabilityPolicy>();
+  if (name == "race-to-idle") return std::make_unique<RaceToIdlePolicy>();
+  return nullptr;
+}
+
+std::vector<std::string> policy_names() {
+  return {"uniform", "greedy", "amenability", "race-to-idle"};
+}
+
+}  // namespace pcap::sched

@@ -1,0 +1,84 @@
+// Cap-allocation policy contract (DESIGN.md §11).
+//
+// At every replan the scheduler hands the policy a read-only cluster view
+// and a group budget; the policy returns a per-node cap vector and an admit
+// mask. The *scheduler* owns placement (FIFO onto the lowest-index
+// admitting idle node) and budget enforcement — a policy that returns an
+// over-budget plan is clamped and the event is counted — so policies only
+// decide how to split watts and how wide to open the rack.
+//
+// Contract invariants every policy must satisfy (tests/test_scheduler.cpp):
+//  * caps lie in [min_cap_w, max_cap_w] for every available node;
+//  * sum(caps over available nodes) <= budget - sum(reservations of
+//    unavailable nodes);
+//  * with budget >= node_count * (max demand + margin), the plan leaves
+//    every node unthrottled and admits everywhere, so all policies
+//    degenerate to the identical baseline schedule.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/amenability_table.hpp"
+#include "sched/job.hpp"
+#include "sched/power_model.hpp"
+
+namespace pcap::sched {
+
+struct NodeView {
+  std::size_t index = 0;
+  /// Reachable over the management plane; unavailable nodes keep their
+  /// last-applied cap as a budget reservation and take no new work.
+  bool available = true;
+  bool busy = false;
+  JobClass cls = JobClass::kSireLike;  // valid when busy
+  int remaining_chunks = 0;            // valid when busy
+  /// The cap currently enforced by the node's BMC (reservation when the
+  /// node is unreachable). nullopt before the first plan lands.
+  std::optional<double> applied_cap_w;
+  /// Absolute deadline of the running job, if any.
+  std::optional<double> deadline_s;
+};
+
+struct PlanInput {
+  double budget_w = 0.0;
+  double min_cap_w = 110.0;
+  double max_cap_w = 400.0;
+  double now_s = 0.0;
+  std::vector<NodeView> nodes;
+  /// Ready queue (arrived, unplaced) jobs in FIFO order.
+  struct QueuedJob {
+    JobClass cls = JobClass::kSireLike;
+    int chunks = 0;
+    std::optional<double> deadline_s;
+  };
+  std::vector<QueuedJob> queued;
+  const AmenabilityTable* table = nullptr;   // may be null
+  const OnlinePowerModel* model = nullptr;   // never null during a run
+};
+
+struct Plan {
+  /// Requested cap per node, parallel to PlanInput::nodes. Values for
+  /// unavailable nodes are ignored (their reservation stands).
+  std::vector<double> cap_w;
+  /// Whether each node may receive new jobs this round (consolidation
+  /// policies park nodes by clearing this).
+  std::vector<bool> admit;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string name() const = 0;
+  virtual Plan plan(const PlanInput& input) = 0;
+};
+
+/// "uniform", "greedy", "amenability", "race-to-idle". Unknown names return
+/// nullptr.
+std::unique_ptr<Policy> make_policy(const std::string& name);
+/// Every policy name make_policy accepts, in canonical sweep order.
+std::vector<std::string> policy_names();
+
+}  // namespace pcap::sched

@@ -1,0 +1,42 @@
+#include "sched/power_model.hpp"
+
+#include <algorithm>
+
+namespace pcap::sched {
+
+void OnlinePowerModel::observe(JobClass cls, std::optional<double> cap_w,
+                               double watts) {
+  ClassStats& stats = stats_[static_cast<std::size_t>(cls)];
+  ++stats.samples;
+  const bool unconstrained = !cap_w || *cap_w >= watts + config_.headroom_w;
+  if (!unconstrained) return;
+  if (stats.uncapped_samples == 0) {
+    stats.uncapped_w = watts;
+  } else {
+    stats.uncapped_w += config_.alpha * (watts - stats.uncapped_w);
+  }
+  ++stats.uncapped_samples;
+}
+
+double OnlinePowerModel::predict_uncapped_w(JobClass cls) const {
+  const ClassStats& stats = stats_[static_cast<std::size_t>(cls)];
+  if (stats.uncapped_samples > 0) return stats.uncapped_w;
+  if (table_ != nullptr) {
+    if (const ClassCurve* curve = table_->curve(cls)) {
+      if (curve->baseline_power_w > 0.0) return curve->baseline_power_w;
+    }
+  }
+  return config_.default_uncapped_w;
+}
+
+double OnlinePowerModel::predict_at_cap_w(JobClass cls, double cap_w) const {
+  const double uncapped = predict_uncapped_w(cls);
+  if (table_ != nullptr) {
+    if (const ClassCurve* curve = table_->curve(cls)) {
+      return std::min(curve->power_at(cap_w), std::min(uncapped, cap_w));
+    }
+  }
+  return std::min(uncapped, cap_w);
+}
+
+}  // namespace pcap::sched

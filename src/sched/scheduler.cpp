@@ -1,0 +1,427 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace pcap::sched {
+
+namespace {
+
+constexpr double kTimeEps = 1e-12;   // event-time comparison slack (seconds)
+constexpr double kCapEpsW = 1e-6;    // caps differing by less are "equal"
+constexpr double kBudgetTolW = 1e-3; // invariant tolerance
+
+}  // namespace
+
+struct ClusterScheduler::Slot {
+  std::string name;
+  std::unique_ptr<sim::Node> node;
+  std::unique_ptr<core::Bmc> bmc;
+  std::unique_ptr<core::BmcIpmiServer> server;
+  std::unique_ptr<ipmi::LoopbackTransport> loopback;
+  std::unique_ptr<ipmi::FaultyTransport> faulty;
+
+  double idle_power_w = 101.0;
+  int job = -1;               // index into the run's JobRecord vector
+  bool in_flight = false;     // a chunk is executing
+  double chunk_end_s = 0.0;
+  double idle_since_s = 0.0;  // when the slot last went idle
+  std::optional<double> cap_at_chunk_start;
+  sim::RunReport last_report;
+};
+
+ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
+    : config_(config),
+      policy_(make_policy(config.policy_name)),
+      model_(config.power_model),
+      dcm_(config.dcm) {
+  model_.set_table(config_.table);
+  if (config_.trace != nullptr) {
+    dcm_.set_telemetry(config_.trace);
+    trace_track_ = config_.trace->track("sched");
+  }
+  if (config_.registry != nullptr) {
+    ctr_replans_ = config_.registry->counter("sched.replans");
+    ctr_chunks_ = config_.registry->counter("sched.chunks");
+    ctr_completed_ = config_.registry->counter("sched.jobs_completed");
+    ctr_misses_ = config_.registry->counter("sched.deadline_misses");
+    ctr_cap_updates_ = config_.registry->counter("sched.cap_updates");
+    gauge_cap_sum_ = config_.registry->gauge("sched.cap_sum_w");
+    gauge_queue_ = config_.registry->gauge("sched.queue_depth");
+  }
+
+  slots_.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->name = "node-" + std::to_string(i);
+    slot->node = std::make_unique<sim::Node>(
+        config_.machine, config_.seed + static_cast<std::uint64_t>(i) + 1);
+    slot->bmc = std::make_unique<core::Bmc>(*slot->node, config_.bmc);
+    slot->server = std::make_unique<core::BmcIpmiServer>(*slot->bmc);
+    slot->node->set_control_hook([bmc = slot->bmc.get()](
+                                     sim::PlatformControl&) {
+      bmc->on_control_tick();
+    });
+    slot->loopback = std::make_unique<ipmi::LoopbackTransport>(
+        [srv = slot->server.get()](std::span<const std::uint8_t> frame) {
+          return srv->handle_frame(frame);
+        });
+    if (config_.faults) {
+      slot->faulty = std::make_unique<ipmi::FaultyTransport>(
+          *slot->loopback, *config_.faults,
+          config_.seed * 131 + static_cast<std::uint64_t>(i) * 31 + 5);
+    }
+
+    // Calibrate the slot's idle draw once (used for idle-energy accounting
+    // between jobs; simulated time spent here precedes the run's t = 0).
+    slot->node->start_metering();
+    slot->node->idle_for(util::microseconds(600));
+    slot->idle_power_w = slot->node->meter().average_watts();
+
+    ipmi::Transport& link =
+        slot->faulty ? static_cast<ipmi::Transport&>(*slot->faulty)
+                     : static_cast<ipmi::Transport&>(*slot->loopback);
+    bool added = false;
+    for (int attempt = 0; attempt < 20 && !added; ++attempt) {
+      added = dcm_.add_node(slot->name, link);
+    }
+    if (config_.trace != nullptr) {
+      node_tracks_.push_back(config_.trace->track("sched:" + slot->name));
+    } else {
+      node_tracks_.push_back(0);
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+ClusterScheduler::~ClusterScheduler() = default;
+
+ipmi::FaultyTransport* ClusterScheduler::fault_link(std::size_t i) {
+  return i < slots_.size() ? slots_[i]->faulty.get() : nullptr;
+}
+
+double ClusterScheduler::idle_power_w(std::size_t i) const {
+  return i < slots_.size() ? slots_[i]->idle_power_w : 0.0;
+}
+
+double ClusterScheduler::applied_cap_sum(double* reserved_w) const {
+  double sum = 0.0;
+  double reserved = 0.0;
+  for (const auto& slot : slots_) {
+    const auto cap = dcm_.node_applied_cap(slot->name);
+    if (!cap) continue;
+    sum += *cap;
+    const auto health = dcm_.node_health(slot->name);
+    if (health && *health == core::NodeHealth::kLost) reserved += *cap;
+  }
+  if (reserved_w != nullptr) *reserved_w = reserved;
+  return sum;
+}
+
+bool ClusterScheduler::apply_caps(const std::vector<double>& target_w,
+                                  const std::vector<bool>& available,
+                                  ScheduleResult& result) {
+  // Decreases first; increases are withheld until every decrease has
+  // landed, so no interleaving of outcomes can push the enforced sum past
+  // the plan's (already validated) total.
+  bool decreases_ok = true;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!available[i]) continue;
+    const auto old_cap = dcm_.node_applied_cap(slots_[i]->name);
+    const bool is_decrease = !old_cap || target_w[i] < *old_cap - kCapEpsW;
+    if (!is_decrease) continue;
+    if (dcm_.apply_node_cap(slots_[i]->name, target_w[i])) {
+      ++result.cap_updates;
+      if (config_.registry != nullptr) config_.registry->add(ctr_cap_updates_);
+    } else {
+      ++result.cap_update_failures;
+      decreases_ok = false;
+    }
+  }
+  if (!decreases_ok) return false;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!available[i]) continue;
+    const auto old_cap = dcm_.node_applied_cap(slots_[i]->name);
+    if (old_cap && target_w[i] > *old_cap + kCapEpsW) {
+      if (dcm_.apply_node_cap(slots_[i]->name, target_w[i])) {
+        ++result.cap_updates;
+        if (config_.registry != nullptr) {
+          config_.registry->add(ctr_cap_updates_);
+        }
+      } else {
+        ++result.cap_update_failures;
+      }
+    }
+  }
+  return true;
+}
+
+ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
+  ScheduleResult result;
+  result.policy = policy_ != nullptr ? policy_->name() : "<none>";
+  result.budget_w = config_.budget_w;
+  if (policy_ == nullptr || slots_.empty()) return result;
+  // Below the enforceable floor no plan can be feasible; refuse the run.
+  if (config_.budget_w <
+      config_.bmc.min_cap_w * static_cast<double>(slots_.size())) {
+    result.infeasible_plans = 1;
+    return result;
+  }
+
+  std::vector<JobRecord> records(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) records[i].spec = stream[i];
+
+  std::size_t next_arrival = 0;
+  std::deque<int> ready;  // indices into records, FIFO
+  std::size_t remaining = stream.size();
+  double t = 0.0;
+  int stalled_rounds = 0;
+
+  while (remaining > 0) {
+    // --- next event ---
+    double t_next = std::numeric_limits<double>::infinity();
+    for (const auto& slot : slots_) {
+      if (slot->in_flight) t_next = std::min(t_next, slot->chunk_end_s);
+    }
+    if (next_arrival < stream.size()) {
+      t_next = std::min(t_next, stream[next_arrival].arrival_s);
+    }
+    if (std::isinf(t_next)) {
+      t_next = t;  // queue stalled on a fully parked rack: replan in place
+    }
+    t = t_next;
+
+    // --- arrivals ---
+    while (next_arrival < stream.size() &&
+           stream[next_arrival].arrival_s <= t + kTimeEps) {
+      ready.push_back(static_cast<int>(next_arrival));
+      ++next_arrival;
+    }
+
+    // --- chunk completions (slot order: deterministic) ---
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = *slots_[i];
+      if (!slot.in_flight || slot.chunk_end_s > t + kTimeEps) continue;
+      slot.in_flight = false;
+      JobRecord& record = records[static_cast<std::size_t>(slot.job)];
+      record.energy_j += slot.last_report.energy_j;
+      ++record.chunks_done;
+      ++result.chunks;
+      if (config_.registry != nullptr) config_.registry->add(ctr_chunks_);
+      model_.observe(record.spec.cls, slot.cap_at_chunk_start,
+                     slot.last_report.avg_power_w);
+      if (record.done()) {
+        record.finish_s = slot.chunk_end_s;
+        const double busy_s = record.finish_s - record.start_s;
+        record.avg_power_w =
+            busy_s > 0.0 ? record.energy_j / busy_s : 0.0;
+        if (record.spec.deadline_s &&
+            record.finish_s > *record.spec.deadline_s + kTimeEps) {
+          record.missed_deadline = true;
+          ++result.deadline_misses;
+          if (config_.registry != nullptr) config_.registry->add(ctr_misses_);
+        }
+        if (config_.registry != nullptr) config_.registry->add(ctr_completed_);
+        if (config_.trace != nullptr) {
+          config_.trace->span(
+              node_tracks_[i], "sched", job_class_name(record.spec.cls),
+              record.start_s * 1e6, (record.finish_s - record.start_s) * 1e6,
+              {telemetry::TraceArg::num("job", record.spec.id),
+               telemetry::TraceArg::num("chunks", record.spec.chunks),
+               telemetry::TraceArg::num("missed_deadline",
+                                        record.missed_deadline ? 1 : 0)});
+        }
+        slot.job = -1;
+        slot.idle_since_s = slot.chunk_end_s;
+        --remaining;
+      }
+    }
+
+    // --- monitoring sweep: health, power history, alerts ---
+    dcm_.poll();
+
+    // --- replan ---
+    PlanInput input;
+    input.budget_w = config_.budget_w;
+    input.min_cap_w = config_.bmc.min_cap_w;
+    input.max_cap_w = config_.bmc.max_cap_w;
+    input.now_s = t;
+    input.table = config_.table;
+    input.model = &model_;
+    std::vector<bool> available(slots_.size(), true);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = *slots_[i];
+      NodeView view;
+      view.index = i;
+      const auto health = dcm_.node_health(slot.name);
+      view.available = !health || *health != core::NodeHealth::kLost;
+      available[i] = view.available;
+      view.busy = slot.job >= 0;
+      if (view.busy) {
+        const JobRecord& record = records[static_cast<std::size_t>(slot.job)];
+        view.cls = record.spec.cls;
+        view.remaining_chunks = record.spec.chunks - record.chunks_done;
+        view.deadline_s = record.spec.deadline_s;
+      }
+      view.applied_cap_w = dcm_.node_applied_cap(slot.name);
+      input.nodes.push_back(view);
+    }
+    for (const int job : ready) {
+      const JobSpec& spec = records[static_cast<std::size_t>(job)].spec;
+      input.queued.push_back({spec.cls, spec.chunks, spec.deadline_s});
+    }
+
+    Plan plan = policy_->plan(input);
+    plan.cap_w.resize(slots_.size(), config_.bmc.min_cap_w);
+    plan.admit.resize(slots_.size(), false);
+    double plan_sum = 0.0;
+    double reserved = 0.0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!available[i]) {
+        reserved +=
+            dcm_.node_applied_cap(slots_[i]->name).value_or(config_.bmc.min_cap_w);
+        continue;
+      }
+      plan.cap_w[i] = std::clamp(plan.cap_w[i], config_.bmc.min_cap_w,
+                                 config_.bmc.max_cap_w);
+      plan_sum += plan.cap_w[i];
+    }
+    const bool feasible = plan_sum + reserved <= config_.budget_w + kBudgetTolW;
+    if (feasible) {
+      apply_caps(plan.cap_w, available, result);
+    } else {
+      ++result.infeasible_plans;  // previous caps stay enforced
+    }
+    ++result.replans;
+    if (config_.registry != nullptr) config_.registry->add(ctr_replans_);
+
+    // --- budget-invariant tick ---
+    TickRecord tick;
+    tick.t_s = t;
+    tick.cap_sum_w = applied_cap_sum(&tick.reserved_w);
+    tick.budget_w = config_.budget_w;
+    tick.queue_depth = ready.size();
+    tick.feasible = feasible;
+    if (tick.cap_sum_w > config_.budget_w + kBudgetTolW) {
+      ++result.budget_violations;
+    }
+    result.max_cap_sum_w = std::max(result.max_cap_sum_w, tick.cap_sum_w);
+    result.ticks.push_back(tick);
+    if (config_.registry != nullptr) {
+      config_.registry->set(gauge_cap_sum_, tick.cap_sum_w);
+      config_.registry->set(gauge_queue_,
+                           static_cast<double>(ready.size()));
+    }
+    if (config_.trace != nullptr) {
+      config_.trace->instant(
+          trace_track_, "sched", "replan", t * 1e6,
+          {telemetry::TraceArg::str("policy", result.policy),
+           telemetry::TraceArg::num("cap_sum_w", tick.cap_sum_w),
+           telemetry::TraceArg::num("queue", static_cast<double>(ready.size())),
+           telemetry::TraceArg::num("feasible", feasible ? 1 : 0)});
+    }
+
+    // --- placement: FIFO onto admitting idle nodes, slot order ---
+    auto place = [&](std::size_t i) {
+      Slot& slot = *slots_[i];
+      const int job = ready.front();
+      ready.pop_front();
+      slot.job = job;
+      JobRecord& record = records[static_cast<std::size_t>(job)];
+      record.node = static_cast<int>(i);
+      record.start_s = t;
+      result.idle_energy_j +=
+          slot.idle_power_w * std::max(0.0, t - slot.idle_since_s);
+    };
+    for (std::size_t i = 0; i < slots_.size() && !ready.empty(); ++i) {
+      if (available[i] && slots_[i]->job < 0 && !slots_[i]->in_flight &&
+          plan.admit[i]) {
+        place(i);
+      }
+    }
+    // A fully parked, fully idle rack must not deadlock the queue: force
+    // the head job onto the first reachable idle node.
+    const bool anything_running =
+        std::any_of(slots_.begin(), slots_.end(), [](const auto& s) {
+          return s->in_flight || s->job >= 0;
+        });
+    if (!anything_running && !ready.empty() && next_arrival >= stream.size()) {
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (available[i] && slots_[i]->job < 0) {
+          place(i);
+          ++result.forced_admissions;
+          break;
+        }
+      }
+    }
+
+    // --- start chunks (simulation fans out over `jobs` workers) ---
+    std::vector<std::size_t> starters;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = *slots_[i];
+      if (slot.job >= 0 && !slot.in_flight) {
+        slot.cap_at_chunk_start = dcm_.node_applied_cap(slot.name);
+        starters.push_back(i);
+      }
+    }
+    util::parallel_for(
+        starters.size(), config_.jobs, [&](std::size_t k) {
+          Slot& slot = *slots_[starters[k]];
+          const JobRecord& record =
+              records[static_cast<std::size_t>(slot.job)];
+          const auto chunk = make_chunk_workload(
+              record.spec.cls, record.spec.seed, record.chunks_done);
+          slot.last_report = slot.node->run(*chunk);
+          slot.chunk_end_s =
+              t + util::to_seconds(slot.last_report.elapsed);
+          slot.in_flight = true;
+        });
+
+    // --- stall guard: a wedged rack (every node lost) must terminate ---
+    const bool in_flight = !starters.empty() ||
+                           std::any_of(slots_.begin(), slots_.end(),
+                                       [](const auto& s) { return s->in_flight; });
+    if (!in_flight && next_arrival >= stream.size()) {
+      if (++stalled_rounds > 2) break;  // stranded jobs keep finish_s = -1
+    } else {
+      stalled_rounds = 0;
+    }
+  }
+
+  // --- final accounting ---
+  double makespan = 0.0;
+  double turnaround = 0.0;
+  std::size_t finished = 0;
+  for (const JobRecord& record : records) {
+    result.busy_energy_j += record.energy_j;
+    if (record.finish_s >= 0.0) {
+      makespan = std::max(makespan, record.finish_s);
+      turnaround += record.finish_s - record.spec.arrival_s;
+      ++finished;
+    }
+  }
+  result.makespan_s = makespan;
+  result.mean_turnaround_s =
+      finished > 0 ? turnaround / static_cast<double>(finished) : 0.0;
+  for (const auto& slot : slots_) {
+    if (slot->job < 0) {
+      result.idle_energy_j +=
+          slot->idle_power_w * std::max(0.0, makespan - slot->idle_since_s);
+    }
+  }
+  result.total_energy_j = result.busy_energy_j + result.idle_energy_j;
+  for (const auto& slot : slots_) {
+    if (const core::ManagedNode* node = dcm_.node(slot->name)) {
+      result.mgmt_retries += node->retries();
+      result.mgmt_failed_exchanges += node->failed_exchanges();
+    }
+  }
+  result.jobs = std::move(records);
+  return result;
+}
+
+}  // namespace pcap::sched

@@ -1,0 +1,148 @@
+// Amenability-aware cluster power scheduler (DESIGN.md §11).
+//
+// A rack of simulated nodes — each a full Node + BMC + IPMI endpoint,
+// optionally behind a lossy FaultyTransport — is managed by the existing
+// DataCenterManager. The scheduler admits a seeded job stream, places jobs
+// FIFO onto admitting idle nodes, and at every event (arrival, chunk
+// completion) asks its Policy how to split one group power budget into
+// per-node caps, which it pushes through the DCM/IPMI plane. Job execution
+// is real simulation: each chunk runs on the node under whatever cap the
+// BMC is enforcing, so slowdown under deep caps emerges from the throttle
+// ladder, never from an assumed model.
+//
+// Invariants (tests/test_scheduler.cpp):
+//  * at every scheduler tick, the summed enforced/reserved node caps never
+//    exceed the group budget — including while links drop, duplicate and
+//    partition (caps are applied decreases-first, and increases are
+//    withheld until every decrease has landed);
+//  * a run is bit-identical for a given seed regardless of the `jobs`
+//    parallelism knob (worker threads only simulate independent nodes);
+//  * with the budget at/above the rack's uncapped draw, every policy
+//    degenerates to the identical unthrottled baseline schedule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bmc.hpp"
+#include "core/bmc_ipmi_server.hpp"
+#include "core/dcm.hpp"
+#include "ipmi/transport.hpp"
+#include "sched/amenability_table.hpp"
+#include "sched/job.hpp"
+#include "sched/policy.hpp"
+#include "sched/power_model.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/node.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace_writer.hpp"
+
+namespace pcap::sched {
+
+struct SchedulerConfig {
+  std::size_t node_count = 8;
+  /// Group power budget (W). Must cover node_count * bmc.min_cap_w.
+  double budget_w = 1360.0;
+  /// One of policy_names(); ignored when `policy` is set explicitly.
+  std::string policy_name = "amenability";
+  std::uint64_t seed = 1;
+  /// Worker threads for chunk simulation (pure performance knob: results
+  /// are bit-identical for any value).
+  std::size_t jobs = 1;
+  sim::MachineConfig machine = sim::MachineConfig::romley();
+  core::BmcConfig bmc;
+  core::DcmConfig dcm;
+  /// When set, every DCM<->BMC link goes through a FaultyTransport with
+  /// this spec (seeded per node from `seed`).
+  std::optional<ipmi::FaultSpec> faults;
+  /// Measured slowdown curves consumed by model-driven policies; may be
+  /// null (policies then fall back to power-only predictions).
+  const AmenabilityTable* table = nullptr;
+  OnlinePowerModel::Config power_model;
+  /// Optional telemetry: decision instants + per-node job spans land in
+  /// `trace`; counters/gauges in `registry`. Attaching either must not
+  /// change scheduling results.
+  telemetry::TraceWriter* trace = nullptr;
+  telemetry::Registry* registry = nullptr;
+};
+
+/// One replan record: the budget invariant, sampled at every tick.
+struct TickRecord {
+  double t_s = 0.0;
+  double cap_sum_w = 0.0;       // enforced caps + reservations, all nodes
+  double reserved_w = 0.0;      // held by unreachable nodes
+  double budget_w = 0.0;
+  std::size_t queue_depth = 0;
+  bool feasible = true;         // policy plan fit the budget
+};
+
+struct ScheduleResult {
+  std::string policy;
+  double budget_w = 0.0;
+  std::vector<JobRecord> jobs;     // indexed by JobSpec::id
+  std::vector<TickRecord> ticks;
+
+  double makespan_s = 0.0;         // last job finish (from t = 0)
+  double busy_energy_j = 0.0;      // chunk execution energy
+  double idle_energy_j = 0.0;      // idle/parked node energy to makespan
+  double total_energy_j = 0.0;
+  int deadline_misses = 0;
+  double mean_turnaround_s = 0.0;  // finish - arrival, averaged
+
+  std::uint64_t replans = 0;
+  std::uint64_t cap_updates = 0;       // IPMI set-cap exchanges that landed
+  std::uint64_t cap_update_failures = 0;
+  std::uint64_t infeasible_plans = 0;  // plan rejected, previous caps kept
+  std::uint64_t forced_admissions = 0;
+  std::uint64_t budget_violations = 0;  // ticks with cap_sum > budget (0!)
+  std::uint64_t chunks = 0;
+  double max_cap_sum_w = 0.0;
+
+  // Management-plane cost (summed over nodes).
+  std::uint64_t mgmt_retries = 0;
+  std::uint64_t mgmt_failed_exchanges = 0;
+};
+
+class ClusterScheduler {
+ public:
+  explicit ClusterScheduler(const SchedulerConfig& config);
+  ~ClusterScheduler();
+
+  ClusterScheduler(const ClusterScheduler&) = delete;
+  ClusterScheduler& operator=(const ClusterScheduler&) = delete;
+
+  /// Runs the stream to completion and returns the schedule. May be called
+  /// once per scheduler instance (nodes are consumed by the run).
+  ScheduleResult run(const std::vector<JobSpec>& stream);
+
+  /// The management plane (for fault injection / health inspection).
+  core::DataCenterManager& dcm() { return dcm_; }
+  /// Fault decorator for slot `i` (nullptr when faults are off).
+  ipmi::FaultyTransport* fault_link(std::size_t i);
+  /// Per-node measured idle draw (used for idle-energy accounting).
+  double idle_power_w(std::size_t i) const;
+
+ private:
+  struct Slot;
+
+  bool apply_caps(const std::vector<double>& target_w,
+                  const std::vector<bool>& available, ScheduleResult& result);
+  double applied_cap_sum(double* reserved_w) const;
+
+  SchedulerConfig config_;
+  std::unique_ptr<Policy> policy_;
+  OnlinePowerModel model_;
+  core::DataCenterManager dcm_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::uint32_t trace_track_ = 0;
+  std::vector<std::uint32_t> node_tracks_;
+  telemetry::CounterHandle ctr_replans_{}, ctr_chunks_{}, ctr_completed_{},
+      ctr_misses_{}, ctr_cap_updates_{};
+  telemetry::GaugeHandle gauge_cap_sum_{}, gauge_queue_{};
+};
+
+}  // namespace pcap::sched

@@ -1,7 +1,13 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 
 namespace pcap::util {
 
@@ -158,6 +164,132 @@ class Parser {
 
 std::optional<JsonValue> parse_json(const std::string& text) {
   return Parser(text).parse();
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double n) {
+  // Shortest decimal form that round-trips the double; integral values
+  // within 2^53 print without an exponent or trailing ".0".
+  char buf[32];
+  if (n == static_cast<std::int64_t>(n) && std::abs(n) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(n)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", n);
+    double reparsed = std::strtod(buf, nullptr);
+    for (int prec = 15; prec <= 16; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, n);
+      if (std::strtod(shorter, nullptr) == n) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, n);
+        break;
+      }
+    }
+    (void)reparsed;
+  }
+  out += buf;
+}
+
+void serialize(std::string& out, const JsonValue& v, int indent, int depth) {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: append_number(out, v.as_number()); break;
+    case JsonValue::Type::kString: append_escaped(out, v.as_string()); break;
+    case JsonValue::Type::kArray: {
+      const JsonArray& items = v.as_array();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        serialize(out, items[i], indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      const JsonObject& members = v.as_object();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : members) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        append_escaped(out, key);
+        out += pretty ? ": " : ":";
+        serialize(out, value, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_to_string(const JsonValue& value, int indent) {
+  std::string out;
+  serialize(out, value, indent, 0);
+  return out;
+}
+
+void write_json_file(const std::string& path, const JsonValue& value) {
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    std::filesystem::create_directories(path.substr(0, slash));
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << json_to_string(value, 2) << '\n';
+}
+
+std::optional<JsonValue> read_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
 }
 
 }  // namespace pcap::util

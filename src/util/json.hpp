@@ -1,7 +1,8 @@
-// Minimal recursive-descent JSON parser — just enough to validate and
-// inspect the trace-event files the telemetry subsystem writes (tests parse
-// the Chrome trace back and assert on its events). Not a general-purpose
-// JSON library: no streaming, no \u escapes beyond ASCII, numbers as double.
+// Minimal JSON parser + serializer — enough to validate and inspect the
+// trace-event files the telemetry subsystem writes (tests parse the Chrome
+// trace back and assert on its events) and to round-trip the scheduler's
+// machine-readable amenability tables. Not a general-purpose JSON library:
+// no streaming, no \u escapes beyond ASCII, numbers as double.
 #pragma once
 
 #include <map>
@@ -70,5 +71,19 @@ class JsonValue {
 /// Parses a complete JSON document (trailing whitespace allowed). Returns
 /// nullopt on any syntax error or trailing garbage.
 std::optional<JsonValue> parse_json(const std::string& text);
+
+/// Serializes a value back to JSON text. `indent` > 0 pretty-prints with
+/// that many spaces per level; the default emits one compact line. Numbers
+/// round-trip through parse_json (shortest representation that preserves
+/// the double). Object members serialize in key order (JsonObject is a
+/// std::map), so output is deterministic.
+std::string json_to_string(const JsonValue& value, int indent = 0);
+
+/// Writes `value` to `path` (creating parent directories), pretty-printed.
+/// Throws std::runtime_error if the file cannot be opened.
+void write_json_file(const std::string& path, const JsonValue& value);
+
+/// Reads and parses a JSON file; nullopt if unreadable or malformed.
+std::optional<JsonValue> read_json_file(const std::string& path);
 
 }  // namespace pcap::util

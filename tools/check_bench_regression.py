@@ -53,6 +53,10 @@ OVERHEAD_CASES = [
     # (case, reference, max ratio)
     ("BM_ContextLoadTelemetryIdle", "BM_ContextLoad", 1.02),
     ("BM_ContextLoadTelemetry", "BM_ContextLoad", 1.05),
+    # The amenability policy's 1 W watt-filling replan vs the trivial
+    # uniform split: measured ~160x (8 nodes, 200 W surplus); the limit
+    # catches the loop going quadratic without flagging noise.
+    ("BM_SchedPlanAmenability", "BM_SchedPlanUniform", 400.0),
 ]
 
 
