@@ -4,15 +4,21 @@
 // the simulator's own throughput (accesses simulated per second).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "cache/cache.hpp"
 #include "cache/tlb.hpp"
 #include "core/bmc.hpp"
 #include "mem/dram.hpp"
 #include "power/model.hpp"
+#include "sched/chunk_cache.hpp"
+#include "sched/job.hpp"
 #include "sched/policy.hpp"
 #include "sim/execution_context.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/node.hpp"
+#include "sim/smp_node.hpp"
 #include "telemetry/probe.hpp"
 #include "util/rng.hpp"
 
@@ -267,6 +273,100 @@ void BM_SchedPlanAmenability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchedPlanAmenability);
+
+// SMP co-run cells: one SIRE-like streaming chunk and one stereo-like
+// cache-resident chunk per core pair (the scheduler's job classes), capped
+// co-runs being the unit of work every placement study repeats. The
+// cooperative engine is gated against the legacy thread-per-core token
+// engine as a within-run ratio (>= 2x, OVERHEAD_CASES in
+// tools/check_bench_regression.py); tests/test_smp_equivalence.cpp proves
+// the reports bit-identical, so the ratio compares equal work.
+void smp_corun_cell(benchmark::State& state, sim::SmpEngine engine,
+                    int cores) {
+  sim::SmpConfig config;
+  config.cores = cores;
+  config.engine = engine;
+  // Fine-grained interleave (500 ns vs the default 5 us): the engine switch
+  // path is what this case measures, so switch often. Reports stay
+  // bit-identical between engines at any quantum.
+  config.quantum = util::nanoseconds(500);
+  sim::SmpNode node(config, 1);
+  std::vector<std::unique_ptr<sim::Workload>> instances;
+  std::vector<sim::Workload*> ws;
+  for (int i = 0; i < cores; ++i) {
+    const sched::JobClass cls = i % 2 == 0 ? sched::JobClass::kSireLike
+                                           : sched::JobClass::kStereoLike;
+    instances.push_back(sched::make_chunk_workload(
+        cls, static_cast<std::uint64_t>(i) + 1, 0));
+    ws.push_back(instances.back().get());
+  }
+  for (auto _ : state) {
+    node.flush_all_caches();
+    benchmark::DoNotOptimize(node.run(ws).elapsed);
+  }
+}
+
+void BM_SmpCoRun2(benchmark::State& state) {
+  smp_corun_cell(state, sim::SmpEngine::kCooperative, 2);
+}
+BENCHMARK(BM_SmpCoRun2)->MinTime(1.0);
+
+void BM_SmpCoRun4(benchmark::State& state) {
+  smp_corun_cell(state, sim::SmpEngine::kCooperative, 4);
+}
+BENCHMARK(BM_SmpCoRun4)->MinTime(1.0);
+
+#if defined(PCAP_SMP_LEGACY_ENGINE)
+void BM_SmpCoRun2Threaded(benchmark::State& state) {
+  smp_corun_cell(state, sim::SmpEngine::kThreadedLegacy, 2);
+}
+BENCHMARK(BM_SmpCoRun2Threaded)->MinTime(1.0);
+
+void BM_SmpCoRun4Threaded(benchmark::State& state) {
+  smp_corun_cell(state, sim::SmpEngine::kThreadedLegacy, 4);
+}
+BENCHMARK(BM_SmpCoRun4Threaded)->MinTime(1.0);
+#endif
+
+// Chunk memoization (DESIGN.md §12): what one chunk start costs the
+// scheduler on a cache miss (a full pure simulation) vs a hit (key build +
+// lookup + replay). Gated as a within-run ratio: hits must stay >= 5x
+// cheaper than misses.
+void BM_SchedChunkMemoMiss(benchmark::State& state) {
+  const sim::MachineConfig machine = sim::MachineConfig::romley();
+  const core::BmcConfig bmc;
+  sched::ChunkKey key;
+  key.cls = sched::JobClass::kStereoLike;
+  key.identity = sched::chunk_identity(sched::JobClass::kStereoLike, 3, 0);
+  key.cap_bits = sched::ChunkKey::encode_cap(150.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::simulate_chunk(machine, bmc, key, 3, 0, 1).elapsed);
+  }
+}
+BENCHMARK(BM_SchedChunkMemoMiss);
+
+void BM_SchedChunkMemoHit(benchmark::State& state) {
+  const sim::MachineConfig machine = sim::MachineConfig::romley();
+  const core::BmcConfig bmc;
+  sched::ChunkKey key;
+  key.cls = sched::JobClass::kStereoLike;
+  key.identity = sched::chunk_identity(sched::JobClass::kStereoLike, 3, 0);
+  key.cap_bits = sched::ChunkKey::encode_cap(150.0);
+  sched::ChunkCache cache;
+  cache.insert(key, sched::simulate_chunk(machine, bmc, key, 3, 0, 1));
+  for (auto _ : state) {
+    // The scheduler's per-start hit path: rebuild the key, look it up,
+    // copy the recorded result.
+    sched::ChunkKey probe;
+    probe.cls = sched::JobClass::kStereoLike;
+    probe.identity = sched::chunk_identity(sched::JobClass::kStereoLike, 3, 0);
+    probe.cap_bits = sched::ChunkKey::encode_cap(150.0);
+    const sched::ChunkResult* found = cache.find(probe);
+    benchmark::DoNotOptimize(found->elapsed);
+  }
+}
+BENCHMARK(BM_SchedChunkMemoHit);
 
 void BM_BmcControlTick(benchmark::State& state) {
   sim::Node node(sim::MachineConfig::romley());

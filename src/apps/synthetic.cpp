@@ -15,6 +15,27 @@ void ComputeBoundWorkload::run(sim::ExecutionContext& ctx) {
   }
 }
 
+void ComputeBoundWorkload::begin_steps() {
+  step_primed_ = false;
+  step_remaining_ = total_uops_;
+}
+
+bool ComputeBoundWorkload::step(sim::ExecutionContext& ctx,
+                                util::Picoseconds budget) {
+  if (!step_primed_) {
+    ctx.set_code_footprint(/*region=*/8, code_pages_);
+    step_primed_ = true;
+  }
+  constexpr std::uint64_t kChunk = 512;
+  while (step_remaining_ > 0) {
+    const std::uint64_t n = step_remaining_ < kChunk ? step_remaining_ : kChunk;
+    ctx.compute(n);
+    step_remaining_ -= n;
+    if (ctx.now() >= budget) return step_remaining_ == 0;
+  }
+  return true;
+}
+
 void MemoryBoundWorkload::run(sim::ExecutionContext& ctx) {
   ctx.set_code_footprint(/*region=*/9, 3);
   const sim::Address base = ctx.alloc(working_set_);
@@ -25,6 +46,36 @@ void MemoryBoundWorkload::run(sim::ExecutionContext& ctx) {
     offset += stride_;
     if (offset >= working_set_) offset = 0;
   }
+}
+
+void MemoryBoundWorkload::begin_steps() {
+  step_primed_ = false;
+  step_offset_ = 0;
+  step_touch_ = 0;
+  step_phase_ = 0;
+}
+
+bool MemoryBoundWorkload::step(sim::ExecutionContext& ctx,
+                               util::Picoseconds budget) {
+  if (!step_primed_) {
+    ctx.set_code_footprint(/*region=*/9, 3);
+    step_base_ = ctx.alloc(working_set_);
+    step_primed_ = true;
+  }
+  while (step_touch_ < touches_) {
+    if (step_phase_ == 0) {
+      ctx.load(step_base_ + step_offset_);
+      step_phase_ = 1;
+      if (ctx.now() >= budget) return false;
+    }
+    ctx.compute(2);
+    step_phase_ = 0;
+    step_offset_ += stride_;
+    if (step_offset_ >= working_set_) step_offset_ = 0;
+    ++step_touch_;
+    if (ctx.now() >= budget) return step_touch_ >= touches_;
+  }
+  return true;
 }
 
 void PhasedWorkload::run(sim::ExecutionContext& ctx) {

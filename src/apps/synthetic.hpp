@@ -14,6 +14,9 @@
 namespace pcap::apps {
 
 /// Pure arithmetic: `total_uops` committed micro-ops, no data traffic.
+/// Steppable: the cooperative SMP engine resumes it as a plain call, with
+/// budget checks after every priced op — the same suspension points the
+/// per-op TickSink yield would produce.
 class ComputeBoundWorkload final : public sim::Workload {
  public:
   explicit ComputeBoundWorkload(std::uint64_t total_uops,
@@ -23,12 +26,20 @@ class ComputeBoundWorkload final : public sim::Workload {
   std::string name() const override { return "compute-bound"; }
   void run(sim::ExecutionContext& ctx) override;
 
+  bool supports_step() const override { return true; }
+  void begin_steps() override;
+  bool step(sim::ExecutionContext& ctx, util::Picoseconds budget) override;
+
  private:
   std::uint64_t total_uops_;
   std::uint32_t code_pages_;
+
+  // Stepping state (valid between begin_steps() and the final step()).
+  bool step_primed_ = false;
+  std::uint64_t step_remaining_ = 0;
 };
 
-/// Streams through a working set repeatedly.
+/// Streams through a working set repeatedly. Steppable (see above).
 class MemoryBoundWorkload final : public sim::Workload {
  public:
   MemoryBoundWorkload(std::uint64_t working_set_bytes, std::uint64_t touches,
@@ -39,10 +50,23 @@ class MemoryBoundWorkload final : public sim::Workload {
   std::string name() const override { return "memory-bound"; }
   void run(sim::ExecutionContext& ctx) override;
 
+  bool supports_step() const override { return true; }
+  void begin_steps() override;
+  bool step(sim::ExecutionContext& ctx, util::Picoseconds budget) override;
+
  private:
   std::uint64_t working_set_;
   std::uint64_t touches_;
   std::uint64_t stride_;
+
+  // Stepping state: position in the touch loop, plus the phase within one
+  // touch (0 = load pending, 1 = compute pending) so a budget can land
+  // between the load and its compute exactly like a per-op sink yield.
+  bool step_primed_ = false;
+  std::uint64_t step_base_ = 0;  // sim::Address
+  std::uint64_t step_offset_ = 0;
+  std::uint64_t step_touch_ = 0;
+  int step_phase_ = 0;
 };
 
 /// Alternates compute-heavy and memory-heavy phases of random length: power

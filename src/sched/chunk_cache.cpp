@@ -1,0 +1,48 @@
+#include "sched/chunk_cache.hpp"
+
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace pcap::sched {
+
+std::uint64_t chunk_identity(JobClass cls, std::uint64_t seed,
+                             int chunk_index) {
+  // Mirror of make_chunk_workload: only the phased class consumes the
+  // mixed chunk seed; every other class builds the same workload for any
+  // (seed, chunk_index).
+  if (cls != JobClass::kPhased) return 0;
+  std::uint64_t sm = seed + 0x9E37u * static_cast<std::uint64_t>(chunk_index);
+  return util::splitmix64(sm);
+}
+
+ChunkResult simulate_chunk(const sim::MachineConfig& machine,
+                           const core::BmcConfig& bmc_config,
+                           const ChunkKey& key, std::uint64_t seed,
+                           int chunk_index,
+                           std::uint64_t node_seed_material) {
+  // The node seed depends on the scheduler's seed only — never the slot
+  // (two slots running the same key must produce the same result, or a
+  // memo hit would not be a replay) and never the key (a cap that does not
+  // bite must leave the chunk bit-identical to an uncapped one, so e.g.
+  // every policy degenerates to the same schedule at a generous budget).
+  std::uint64_t sm = node_seed_material;
+  const std::uint64_t node_seed = util::splitmix64(sm);
+  sim::Node node(machine, node_seed);
+  core::Bmc bmc(node, bmc_config);
+  node.set_control_hook(
+      [&bmc](sim::PlatformControl&) { bmc.on_control_tick(); });
+  const double cap_w = std::bit_cast<double>(key.cap_bits);
+  if (cap_w > 0.0) bmc.set_cap(cap_w);
+
+  // Deterministic warm start: a job keeps its slot between chunks, so
+  // chunk i re-enters with the working set chunk i-1 left in the caches
+  // and the BMC's control loop already settled on the cap. The pure chunk
+  // is therefore the steady-state one — run the workload once untimed to
+  // warm caches, TLBs and the control state, then measure.
+  const auto workload = make_chunk_workload(key.cls, seed, chunk_index);
+  (void)node.run(*workload);
+  const sim::RunReport report = node.run(*workload);
+  return ChunkResult{report.elapsed, report.energy_j, report.avg_power_w};
+}
+
+}  // namespace pcap::sched

@@ -1,0 +1,99 @@
+// Chunk memoization for the cluster power scheduler (DESIGN.md §12).
+//
+// A chunk is simulated on a FRESH Node + BMC pair, so its result is a pure
+// function of (job class, workload identity, enforced cap) — the machine
+// and BMC configurations are fixed per scheduler instance and the chunk
+// duration is determined by the class, so they are factored out of the key
+// by scoping one cache to one ClusterScheduler. Arrival streams with
+// repeated (class, cap) cells then replay recorded results bit-exactly
+// instead of re-simulating: a hit returns the identical ChunkResult the
+// miss recorded, and the schedule it produces is bit-identical to the
+// cache-off run (tests/test_scheduler.cpp).
+//
+// The slot's long-lived node stays on the management plane (DCM/IPMI caps,
+// health, idle calibration); only chunk execution moved to pure simulation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/bmc.hpp"
+#include "sched/job.hpp"
+#include "sim/machine_config.hpp"
+#include "util/units.hpp"
+
+namespace pcap::sched {
+
+/// Everything the scheduler consumes from one chunk execution.
+struct ChunkResult {
+  util::Picoseconds elapsed = 0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+};
+
+/// Full memo key for one chunk simulation within one scheduler instance.
+struct ChunkKey {
+  JobClass cls = JobClass::kSireLike;
+  /// Workload identity: everything make_chunk_workload's output depends on
+  /// beyond the class (chunk_identity()).
+  std::uint64_t identity = 0;
+  /// Bit pattern of the enforced cap in watts; uncapped chunks use the
+  /// pattern of -1.0 (caps are strictly positive).
+  std::uint64_t cap_bits = std::bit_cast<std::uint64_t>(-1.0);
+
+  static std::uint64_t encode_cap(std::optional<double> cap_w) {
+    return std::bit_cast<std::uint64_t>(cap_w.value_or(-1.0));
+  }
+
+  bool operator==(const ChunkKey&) const = default;
+};
+
+struct ChunkKeyHash {
+  std::size_t operator()(const ChunkKey& key) const {
+    std::uint64_t h = key.identity;
+    h ^= key.cap_bits + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(key.cls) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// The part of make_chunk_workload's input its output actually depends on:
+/// only kPhased chunks consume the (seed, chunk_index) mixture, so repeated
+/// cells of the other classes collapse onto one key per (class, cap).
+std::uint64_t chunk_identity(JobClass cls, std::uint64_t seed,
+                             int chunk_index);
+
+/// Simulates one chunk as a pure function of the key: a fresh Node (seeded
+/// deterministically from `node_seed_material` and the key) with its own
+/// BMC enforcing `cap_w` directly — the genuine throttle ladder, minus the
+/// IPMI plane the slot's management node already modelled when the cap was
+/// applied. Thread-safe by construction (no shared state), so the `--jobs`
+/// pool may call it concurrently.
+ChunkResult simulate_chunk(const sim::MachineConfig& machine,
+                           const core::BmcConfig& bmc_config,
+                           const ChunkKey& key, std::uint64_t seed,
+                           int chunk_index,
+                           std::uint64_t node_seed_material);
+
+/// Unbounded per-scheduler map. Not thread-safe: the scheduler classifies
+/// hits and inserts results serially in slot order (jobs-invariance), only
+/// the miss simulations fan out.
+class ChunkCache {
+ public:
+  const ChunkResult* find(const ChunkKey& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  void insert(const ChunkKey& key, const ChunkResult& result) {
+    map_.emplace(key, result);
+  }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<ChunkKey, ChunkResult, ChunkKeyHash> map_;
+};
+
+}  // namespace pcap::sched

@@ -31,7 +31,7 @@ struct ClusterScheduler::Slot {
   double chunk_end_s = 0.0;
   double idle_since_s = 0.0;  // when the slot last went idle
   std::optional<double> cap_at_chunk_start;
-  sim::RunReport last_report;
+  ChunkResult last_chunk;
 };
 
 ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
@@ -208,12 +208,12 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
       if (!slot.in_flight || slot.chunk_end_s > t + kTimeEps) continue;
       slot.in_flight = false;
       JobRecord& record = records[static_cast<std::size_t>(slot.job)];
-      record.energy_j += slot.last_report.energy_j;
+      record.energy_j += slot.last_chunk.energy_j;
       ++record.chunks_done;
       ++result.chunks;
       if (config_.registry != nullptr) config_.registry->add(ctr_chunks_);
       model_.observe(record.spec.cls, slot.cap_at_chunk_start,
-                     slot.last_report.avg_power_w);
+                     slot.last_chunk.avg_power_w);
       if (record.done()) {
         record.finish_s = slot.chunk_end_s;
         const double busy_s = record.finish_s - record.start_s;
@@ -359,7 +359,14 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
       }
     }
 
-    // --- start chunks (simulation fans out over `jobs` workers) ---
+    // --- start chunks ---
+    // A chunk is a pure function of its ChunkKey (fresh Node + BMC under
+    // the enforced cap, DESIGN.md §12), so starts proceed in three
+    // deterministic stages: a serial prepass in slot order classifies each
+    // start as memo hit or miss, the misses fan out over the `jobs` pool
+    // (the cache is not touched concurrently), and a serial epilogue in
+    // slot order records the results. Hit/miss accounting and the schedule
+    // are therefore invariant under both `jobs` and `memo`.
     std::vector<std::size_t> starters;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       Slot& slot = *slots_[i];
@@ -368,18 +375,38 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
         starters.push_back(i);
       }
     }
+    std::vector<ChunkKey> keys(starters.size());
+    std::vector<const ChunkResult*> hits(starters.size(), nullptr);
+    for (std::size_t k = 0; k < starters.size(); ++k) {
+      const Slot& slot = *slots_[starters[k]];
+      const JobRecord& record = records[static_cast<std::size_t>(slot.job)];
+      keys[k].cls = record.spec.cls;
+      keys[k].identity = chunk_identity(record.spec.cls, record.spec.seed,
+                                        record.chunks_done);
+      keys[k].cap_bits = ChunkKey::encode_cap(slot.cap_at_chunk_start);
+      if (config_.memo) hits[k] = chunk_cache_.find(keys[k]);
+      ++(hits[k] != nullptr ? result.memo_hits : result.memo_misses);
+    }
+    std::vector<ChunkResult> fresh(starters.size());
     util::parallel_for(
         starters.size(), config_.jobs, [&](std::size_t k) {
-          Slot& slot = *slots_[starters[k]];
+          if (hits[k] != nullptr) return;
+          const Slot& slot = *slots_[starters[k]];
           const JobRecord& record =
               records[static_cast<std::size_t>(slot.job)];
-          const auto chunk = make_chunk_workload(
-              record.spec.cls, record.spec.seed, record.chunks_done);
-          slot.last_report = slot.node->run(*chunk);
-          slot.chunk_end_s =
-              t + util::to_seconds(slot.last_report.elapsed);
-          slot.in_flight = true;
+          fresh[k] = simulate_chunk(config_.machine, config_.bmc, keys[k],
+                                    record.spec.seed, record.chunks_done,
+                                    config_.seed);
         });
+    for (std::size_t k = 0; k < starters.size(); ++k) {
+      Slot& slot = *slots_[starters[k]];
+      slot.last_chunk = hits[k] != nullptr ? *hits[k] : fresh[k];
+      if (config_.memo && hits[k] == nullptr) {
+        chunk_cache_.insert(keys[k], fresh[k]);
+      }
+      slot.chunk_end_s = t + util::to_seconds(slot.last_chunk.elapsed);
+      slot.in_flight = true;
+    }
 
     // --- stall guard: a wedged rack (every node lost) must terminate ---
     const bool in_flight = !starters.empty() ||

@@ -33,6 +33,7 @@
 #include "core/dcm.hpp"
 #include "ipmi/transport.hpp"
 #include "sched/amenability_table.hpp"
+#include "sched/chunk_cache.hpp"
 #include "sched/job.hpp"
 #include "sched/policy.hpp"
 #include "sched/power_model.hpp"
@@ -53,6 +54,11 @@ struct SchedulerConfig {
   /// Worker threads for chunk simulation (pure performance knob: results
   /// are bit-identical for any value).
   std::size_t jobs = 1;
+  /// Chunk memoization (DESIGN.md §12): chunks are pure functions of
+  /// (class, workload identity, enforced cap), so repeated cells replay
+  /// recorded results bit-exactly. Pure performance knob — OFF produces a
+  /// bit-identical schedule, slower.
+  bool memo = true;
   sim::MachineConfig machine = sim::MachineConfig::romley();
   core::BmcConfig bmc;
   core::DcmConfig dcm;
@@ -100,6 +106,8 @@ struct ScheduleResult {
   std::uint64_t forced_admissions = 0;
   std::uint64_t budget_violations = 0;  // ticks with cap_sum > budget (0!)
   std::uint64_t chunks = 0;
+  std::uint64_t memo_hits = 0;    // chunks replayed from the memo cache
+  std::uint64_t memo_misses = 0;  // chunks simulated (and recorded)
   double max_cap_sum_w = 0.0;
 
   // Management-plane cost (summed over nodes).
@@ -134,6 +142,7 @@ class ClusterScheduler {
   double applied_cap_sum(double* reserved_w) const;
 
   SchedulerConfig config_;
+  ChunkCache chunk_cache_;
   std::unique_ptr<Policy> policy_;
   OnlinePowerModel model_;
   core::DataCenterManager dcm_;

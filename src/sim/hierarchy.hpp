@@ -56,6 +56,12 @@ class MemoryHierarchy {
   /// identical summed latency. Consecutive accesses that provably hit the
   /// L1's MRU line (and the matching TLB entry) are accounted analytically
   /// instead of being replayed one by one.
+  ///
+  /// Single-owner form: the whole stream is priced as one uninterrupted
+  /// burst, so only callers that own the hierarchy for the stream's full
+  /// duration (single-core Node, benchmarks) may use it. SMP lanes instead
+  /// batch through ExecutionContext's streams, whose bulk groups truncate
+  /// at the lane's quantum horizon (DESIGN.md §12).
   StreamLatency access_stream(Address base, std::int64_t stride,
                               std::uint64_t count, AccessType type);
 
@@ -70,6 +76,13 @@ class MemoryHierarchy {
   /// Bulk form: accounts `n` back-to-back accesses to `addr`'s line under
   /// the same provable-hit precondition, with `lat` the (identical)
   /// per-access latency. Accounts nothing and returns false otherwise.
+  ///
+  /// SMP legality: the provable-hit precondition and the accounting touch
+  /// only core-private state (L1 MRU way, the matching TLB entry, this
+  /// core's counter bank) — never the shared L3 or a DRAM row buffer. A
+  /// bulk group can therefore never elide an interference point a
+  /// co-runner could observe: any access that would reach the shared
+  /// levels fails the precondition and takes the full access() path.
   bool try_fast_repeat(Address addr, AccessType type, std::uint64_t n,
                        AccessLatency& lat);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/units.hpp"
+
 namespace pcap::sim {
 
 using pmu::Event;
@@ -20,6 +22,12 @@ SmpNode::SmpNode(const SmpConfig& config, std::uint64_t seed)
   if (config.cores > config.machine.power.cores) {
     throw std::invalid_argument("SmpNode: more cores than the platform has");
   }
+#if !defined(PCAP_SMP_LEGACY_ENGINE)
+  if (config.engine == SmpEngine::kThreadedLegacy) {
+    throw std::invalid_argument(
+        "SmpNode: legacy token engine compiled out (PCAP_SMP_LEGACY_ENGINE)");
+  }
+#endif
   lanes_.reserve(static_cast<std::size_t>(config.cores));
   for (int i = 0; i < config.cores; ++i) {
     auto lane = std::make_unique<Lane>();
@@ -35,7 +43,7 @@ SmpNode::SmpNode(const SmpConfig& config, std::uint64_t seed)
   meter_.start_session(0);
 }
 
-SmpNode::~SmpNode() = default;
+SmpNode::~SmpNode() { teardown_lanes(); }
 
 // --- PlatformControl: package-level actuation ---
 
@@ -178,6 +186,8 @@ void SmpNode::housekeeping(util::Picoseconds upto) {
 
   node_now_ = upto;
 
+  if constexpr (telemetry::kCompiledIn) feed_probes(upto);
+
   if (os_noise_enabled_ && running_ && upto >= next_noise_) {
     for (auto& lane : lanes_) {
       lane->hierarchy->flush_tlbs();
@@ -196,7 +206,60 @@ void SmpNode::housekeeping(util::Picoseconds upto) {
   last_tick_ = upto;
 }
 
-// --- scheduler token protocol ---
+void SmpNode::feed_probes(util::Picoseconds now) {
+  // Probes only read simulator state; feeding them cannot perturb the run.
+  const auto package_due =
+      probe_ != nullptr && probe_->wants_sample(now);
+  bool any_core_due = false;
+  for (std::size_t i = 0; i < core_probes_.size() && i < lanes_.size(); ++i) {
+    if (core_probes_[i] != nullptr && core_probes_[i]->wants_sample(now)) {
+      any_core_due = true;
+      break;
+    }
+  }
+  if (!package_due && !any_core_due) return;
+
+  telemetry::ProbeInput in;
+  in.now = now;
+  in.watts = watts_;
+  in.frequency_mhz = static_cast<double>(frequency()) /
+                     static_cast<double>(util::kMegaHertz);
+  in.pstate = pstate();
+  in.duty = duty();
+  in.temperature_c = thermal_.temperature_c();
+
+  if (package_due) {
+    telemetry::ProbeInput agg = in;
+    for (const auto& lane : lanes_) {
+      agg.tot_ins += lane->bank.get(Event::kTotIns);
+      agg.tot_cyc += lane->bank.get(Event::kTotCyc);
+      agg.l1_acc += lane->bank.get(Event::kL1Dca);
+      agg.l1_miss += lane->bank.get(Event::kL1Dcm);
+      agg.l2_acc += lane->bank.get(Event::kL2Tca);
+      agg.l2_miss += lane->bank.get(Event::kL2Tcm);
+      agg.l3_acc += lane->bank.get(Event::kL3Tca);
+      agg.l3_miss += lane->bank.get(Event::kL3Tcm);
+    }
+    probe_->on_tick(agg);
+  }
+  for (std::size_t i = 0; i < core_probes_.size() && i < lanes_.size(); ++i) {
+    telemetry::NodeProbe* probe = core_probes_[i];
+    if (probe == nullptr || !probe->wants_sample(now)) continue;
+    const Lane& lane = *lanes_[i];
+    telemetry::ProbeInput per = in;  // package operating point ...
+    per.tot_ins = lane.bank.get(Event::kTotIns);  // ... per-core counters
+    per.tot_cyc = lane.bank.get(Event::kTotCyc);
+    per.l1_acc = lane.bank.get(Event::kL1Dca);
+    per.l1_miss = lane.bank.get(Event::kL1Dcm);
+    per.l2_acc = lane.bank.get(Event::kL2Tca);
+    per.l2_miss = lane.bank.get(Event::kL2Tcm);
+    per.l3_acc = lane.bank.get(Event::kL3Tca);
+    per.l3_miss = lane.bank.get(Event::kL3Tcm);
+    probe->on_tick(per);
+  }
+}
+
+// --- quantum scheduling (shared by both engines) ---
 
 void SmpNode::Lane::on_op() {
   if (core->now() < quantum_end) return;
@@ -204,17 +267,23 @@ void SmpNode::Lane::on_op() {
 }
 
 void SmpNode::yield_from(Lane& lane) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  token_ = -1;
-  cv_.notify_all();
-  cv_.wait(lock, [this, &lane] { return token_ == lane.index; });
-}
-
-void SmpNode::finish_from(Lane& lane) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  lane.finished = true;
-  token_ = -1;
-  cv_.notify_all();
+  if (lane.fiber != nullptr) {
+    // Cooperative: suspend the continuation back to the run queue.
+    util::Fiber::yield();
+    return;
+  }
+#if defined(PCAP_SMP_LEGACY_ENGINE)
+  if (config_.engine == SmpEngine::kThreadedLegacy) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    token_ = -1;
+    cv_.notify_all();
+    cv_.wait(lock, [this, &lane] { return token_ == lane.index || abort_; });
+    if (abort_) throw EngineAbort{};
+    return;
+  }
+#endif
+  // Steppable lane: step() observes the clock and returns on its own; the
+  // sink has nothing to do.
 }
 
 int SmpNode::pick_next_lane() const {
@@ -229,13 +298,39 @@ int SmpNode::pick_next_lane() const {
   return best;
 }
 
-SmpRunReport SmpNode::run(std::span<Workload* const> workloads) {
+void SmpNode::settle_quantum() {
+  // Housekeeping runs up to the slowest unfinished core (everything before
+  // that point is final).
+  util::Picoseconds horizon = 0;
+  bool any_unfinished = false;
+  for (const auto& lane : lanes_) {
+    if (!lane->finished) {
+      horizon = any_unfinished ? std::min(horizon, lane->core->now())
+                               : lane->core->now();
+      any_unfinished = true;
+    }
+  }
+  if (any_unfinished) housekeeping(horizon);
+}
+
+// --- run prologue / epilogue (engine-independent) ---
+
+util::Picoseconds SmpNode::prepare_run(std::span<Workload* const> workloads) {
   if (workloads.empty() ||
       workloads.size() > static_cast<std::size_t>(core_count())) {
     throw std::invalid_argument("SmpNode::run: bad workload count");
   }
-  for (Workload* w : workloads) {
-    if (w == nullptr) throw std::invalid_argument("SmpNode::run: null workload");
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    if (workloads[i] == nullptr) {
+      throw std::invalid_argument("SmpNode::run: null workload");
+    }
+    for (std::size_t j = i + 1; j < workloads.size(); ++j) {
+      if (workloads[i] == workloads[j]) {
+        // One workload object carries one instruction-stream state; two
+        // lanes advancing it would interleave that state incoherently.
+        throw std::invalid_argument("SmpNode::run: duplicate workload");
+      }
+    }
   }
 
   // Align every core to a common start time.
@@ -277,53 +372,11 @@ SmpRunReport SmpNode::run(std::span<Workload* const> workloads) {
     last_ins_ += lane->bank.get(Event::kTotIns);
     last_cyc_ += lane->bank.get(Event::kTotCyc);
   }
+  return start;
+}
 
-  // Launch one host thread per active lane; each waits for the token.
-  for (std::size_t i = 0; i < workloads.size(); ++i) {
-    Lane* lane = lanes_[i].get();
-    lane->thread = std::thread([this, lane] {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this, lane] { return token_ == lane->index; });
-      }
-      ExecutionContext ctx(*lane->hierarchy, *lane->core, *lane,
-                           config_.machine,
-                           static_cast<std::uint32_t>(lane->index));
-      lane->workload->run(ctx);
-      finish_from(*lane);
-    });
-  }
-
-  // Master scheduling loop: always advance the laggard core.
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      const int next = pick_next_lane();
-      if (next < 0) break;
-      Lane& lane = *lanes_[static_cast<std::size_t>(next)];
-      lane.quantum_end = lane.core->now() + config_.quantum;
-      token_ = next;
-      cv_.notify_all();
-      cv_.wait(lock, [this] { return token_ == -1; });
-
-      // Housekeeping runs up to the slowest unfinished core (everything
-      // before that point is final).
-      util::Picoseconds horizon = 0;
-      bool any_unfinished = false;
-      for (const auto& l : lanes_) {
-        if (!l->finished) {
-          horizon = any_unfinished ? std::min(horizon, l->core->now())
-                                   : l->core->now();
-          any_unfinished = true;
-        }
-      }
-      if (any_unfinished) housekeeping(horizon);
-    }
-  }
-  for (auto& lane : lanes_) {
-    if (lane->thread.joinable()) lane->thread.join();
-  }
-
+SmpRunReport SmpNode::finish_run(std::span<Workload* const> workloads,
+                                 util::Picoseconds start) {
   // Close out the run at the slowest core's finish time.
   util::Picoseconds end = start;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
@@ -356,5 +409,170 @@ SmpRunReport SmpNode::run(std::span<Workload* const> workloads) {
   }
   return report;
 }
+
+void SmpNode::teardown_lanes() noexcept {
+  for (auto& lane : lanes_) {
+    if (lane->fiber != nullptr && !lane->fiber->done()) {
+      // Unwind the suspended workload stack through its destructors.
+      lane->fiber->cancel();
+    }
+    lane->fiber.reset();
+    lane->ctx.reset();
+  }
+}
+
+// --- cooperative engine ---
+
+SmpRunReport SmpNode::run(std::span<Workload* const> workloads) {
+#if defined(PCAP_SMP_LEGACY_ENGINE)
+  if (config_.engine == SmpEngine::kThreadedLegacy) {
+    return run_threaded(workloads);
+  }
+#endif
+  return run_cooperative(workloads);
+}
+
+SmpRunReport SmpNode::run_cooperative(std::span<Workload* const> workloads) {
+  const util::Picoseconds start = prepare_run(workloads);
+
+  // Per-core stream contexts: each lane gets its own ExecutionContext whose
+  // sink horizon is that lane's quantum end, so the PR 2 batched streams
+  // (load/store/rmw/pattern) elide per-op sink calls inside a quantum and
+  // truncate bulk groups exactly at the quantum boundary.
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    Lane* lane = lanes_[i].get();
+    lane->ctx = std::make_unique<ExecutionContext>(
+        *lane->hierarchy, *lane->core, *lane, config_.machine,
+        static_cast<std::uint32_t>(lane->index));
+    if (lane->workload->supports_step()) {
+      lane->workload->begin_steps();
+      lane->fiber = nullptr;
+    } else {
+      lane->fiber = std::make_unique<util::Fiber>(
+          [lane] { lane->workload->run(*lane->ctx); });
+    }
+  }
+
+  try {
+    // Min-local-time run queue: always resume the laggard core for one
+    // quantum, then settle node housekeeping behind the pack.
+    for (;;) {
+      const int next = pick_next_lane();
+      if (next < 0) break;
+      Lane& lane = *lanes_[static_cast<std::size_t>(next)];
+      lane.quantum_end = lane.core->now() + config_.quantum;
+      if (lane.fiber != nullptr) {
+        lane.fiber->resume();
+        if (lane.fiber->done()) {
+          lane.finished = true;
+          if (auto error = lane.fiber->exception()) {
+            std::rethrow_exception(error);
+          }
+        }
+      } else {
+        if (lane.workload->step(*lane.ctx, lane.quantum_end)) {
+          lane.finished = true;
+        }
+      }
+      settle_quantum();
+    }
+  } catch (...) {
+    // A workload or control hook threw: unwind every suspended co-runner
+    // before the exception escapes so no continuation outlives the run.
+    teardown_lanes();
+    running_ = false;
+    throw;
+  }
+
+  teardown_lanes();
+  return finish_run(workloads, start);
+}
+
+// --- legacy thread-per-core token engine (differential baseline) ---
+
+#if defined(PCAP_SMP_LEGACY_ENGINE)
+
+void SmpNode::finish_from(Lane& lane) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lane.finished = true;
+  token_ = -1;
+  cv_.notify_all();
+}
+
+SmpRunReport SmpNode::run_threaded(std::span<Workload* const> workloads) {
+  const util::Picoseconds start = prepare_run(workloads);
+  abort_ = false;
+
+  // Launch one host thread per active lane; each waits for the token. A
+  // workload exception is captured on the lane (never escapes the thread),
+  // and an engine abort wakes every parked lane to unwind via EngineAbort —
+  // either way the thread reaches finish_from and stays joinable exactly
+  // until the join loop below (the old engine leaked joinable threads when
+  // e.g. a control hook threw in the master loop).
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    Lane* lane = lanes_[i].get();
+    lane->error = nullptr;
+    lane->thread = std::thread([this, lane] {
+      try {
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          cv_.wait(lock,
+                   [this, lane] { return token_ == lane->index || abort_; });
+          if (abort_) throw EngineAbort{};
+        }
+        ExecutionContext ctx(*lane->hierarchy, *lane->core, *lane,
+                             config_.machine,
+                             static_cast<std::uint32_t>(lane->index));
+        lane->workload->run(ctx);
+      } catch (const EngineAbort&) {
+        // Aborted run: nothing to record, just park the lane.
+      } catch (...) {
+        lane->error = std::current_exception();
+      }
+      finish_from(*lane);
+    });
+  }
+
+  // Master scheduling loop: always advance the laggard core.
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    try {
+      for (;;) {
+        const int next = pick_next_lane();
+        if (next < 0) break;
+        Lane& lane = *lanes_[static_cast<std::size_t>(next)];
+        lane.quantum_end = lane.core->now() + config_.quantum;
+        token_ = next;
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return token_ == -1; });
+        if (lane.error != nullptr) {
+          error = lane.error;
+          lane.error = nullptr;
+          break;
+        }
+        settle_quantum();
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (error != nullptr) {
+      abort_ = true;
+      cv_.notify_all();
+    }
+  }
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+  abort_ = false;
+  if (error != nullptr) {
+    running_ = false;
+    std::rethrow_exception(error);
+  }
+
+  return finish_run(workloads, start);
+}
+
+#endif  // PCAP_SMP_LEGACY_ENGINE
 
 }  // namespace pcap::sim

@@ -310,6 +310,65 @@ TEST(ClusterSchedulerTest, RunIsBitIdenticalAcrossJobsParallelism) {
   expect_results_identical(a, b);
 }
 
+TEST(ChunkCacheTest, SimulateChunkIsAPureFunctionOfTheKey) {
+  const sim::MachineConfig machine = sim::MachineConfig::romley();
+  const core::BmcConfig bmc;
+
+  ChunkKey key;
+  key.cls = JobClass::kStereoLike;
+  key.identity = chunk_identity(JobClass::kStereoLike, 7, 0);
+  key.cap_bits = ChunkKey::encode_cap(125.0);
+
+  // Same key, any (seed, chunk_index) that maps to it: identical result —
+  // this is what makes a memo hit a bit-exact replay.
+  const ChunkResult a = simulate_chunk(machine, bmc, key, 7, 0, 5);
+  const ChunkResult b = simulate_chunk(machine, bmc, key, 7, 0, 5);
+  const ChunkResult c = simulate_chunk(machine, bmc, key, 99, 3, 5);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+  EXPECT_EQ(a.elapsed, c.elapsed);
+  EXPECT_EQ(a.energy_j, c.energy_j);
+
+  // Non-phased classes collapse every (seed, chunk_index) onto one key;
+  // phased chunks keep their per-chunk identity.
+  EXPECT_EQ(chunk_identity(JobClass::kSireLike, 1, 0),
+            chunk_identity(JobClass::kSireLike, 42, 9));
+  EXPECT_NE(chunk_identity(JobClass::kPhased, 1, 0),
+            chunk_identity(JobClass::kPhased, 1, 1));
+
+  // The cap is part of the key, and a deep cap really changes the result.
+  ChunkKey deep = key;
+  deep.cap_bits = ChunkKey::encode_cap(115.0);
+  const ChunkResult d = simulate_chunk(machine, bmc, deep, 7, 0, 5);
+  EXPECT_FALSE(key == deep);
+  EXPECT_GT(d.elapsed, a.elapsed);
+}
+
+TEST(ClusterSchedulerTest, MemoCacheIsBitNeutralAndActuallyHits) {
+  const AmenabilityTable table = synthetic_table();
+  const auto stream = small_stream(8);
+
+  SchedulerConfig with_memo = small_config(&table, 500.0, "amenability");
+  with_memo.jobs = 2;
+  SchedulerConfig without = with_memo;
+  without.memo = false;
+
+  const ScheduleResult memo = ClusterScheduler(with_memo).run(stream);
+  const ScheduleResult plain = ClusterScheduler(without).run(stream);
+  expect_all_done(memo, stream.size());
+  expect_budget_invariant(memo);
+  // Cache-off equivalence: the memo is a pure performance knob.
+  expect_results_identical(memo, plain);
+
+  // The stream repeats (class, cap) cells, so the cache genuinely replayed
+  // chunks — and every chunk was classified exactly once.
+  EXPECT_GT(memo.memo_hits, 0u);
+  EXPECT_EQ(memo.memo_hits + memo.memo_misses, memo.chunks);
+  EXPECT_EQ(plain.memo_hits, 0u);
+  EXPECT_EQ(plain.memo_misses, plain.chunks);
+}
+
 TEST(ClusterSchedulerTest, PoliciesDegenerateToBaselineAtGenerousBudget) {
   const AmenabilityTable table = synthetic_table();
   const auto stream = small_stream(6);

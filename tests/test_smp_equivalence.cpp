@@ -1,0 +1,386 @@
+// Differential tests for the cooperative single-threaded SMP engine
+// (DESIGN.md §12): the engine rewrite may change how fast the simulator
+// runs, never what it computes.
+//
+//  * Cooperative vs legacy thread-per-core token engine: bit-identical
+//    reports for steppable, monolithic (fiber), and mixed workload sets,
+//    with and without BMC capping (guarded by PCAP_SMP_LEGACY_ENGINE).
+//  * Native stepping vs forced-fiber execution of the same workload:
+//    identical resume points, identical reports.
+//  * Quantum-boundary batching legality: the PR 2 stream fast paths
+//    truncate bulk groups at the lane's quantum horizon, so a stream-API
+//    workload co-running with an antagonist matches its per-op twin
+//    bit for bit.
+//  * `--jobs` invariance: independent SMP cells return bit-identical
+//    reports whether run serially or on a worker pool.
+//  * Exception safety: a throwing workload or control hook unwinds every
+//    suspended co-runner (destructors run) and leaves the engine reusable.
+//  * Telemetry neutrality: attaching package/per-core probes never
+//    perturbs the run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/bmc.hpp"
+#include "sim/execution_context.hpp"
+#include "sim/smp_node.hpp"
+#include "telemetry/probe.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pcap::sim {
+namespace {
+
+using pmu::Event;
+
+void expect_identical(const SmpRunReport& a, const SmpRunReport& b) {
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+  EXPECT_EQ(a.peak_power_w, b.peak_power_w);
+  EXPECT_EQ(a.avg_frequency, b.avg_frequency);
+  EXPECT_EQ(a.counters, b.counters);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    EXPECT_EQ(a.cores[i].workload, b.cores[i].workload) << "core " << i;
+    EXPECT_EQ(a.cores[i].elapsed, b.cores[i].elapsed) << "core " << i;
+    EXPECT_EQ(a.cores[i].counters, b.cores[i].counters) << "core " << i;
+  }
+}
+
+SmpConfig make_config(int cores, SmpEngine engine) {
+  SmpConfig config;
+  config.cores = cores;
+  config.engine = engine;
+  return config;
+}
+
+/// Runs one capped cell on a fresh node: workloads are rebuilt per run so
+/// neither engine sees state left behind by the other.
+template <typename MakeWorkloads>
+SmpRunReport run_cell(SmpEngine engine, MakeWorkloads make,
+                      std::uint64_t seed, double cap_w = 0.0) {
+  auto workloads = make();
+  std::vector<Workload*> ptrs;
+  for (auto& w : workloads) ptrs.push_back(w.get());
+  SmpNode node(make_config(static_cast<int>(ptrs.size()), engine), seed);
+  core::Bmc bmc(node);
+  if (cap_w > 0.0) {
+    node.set_control_hook([&bmc](PlatformControl&) { bmc.on_control_tick(); });
+    bmc.set_cap(cap_w);
+  }
+  return node.run(ptrs);
+}
+
+std::vector<std::unique_ptr<Workload>> steppable_mix() {
+  std::vector<std::unique_ptr<Workload>> ws;
+  ws.push_back(std::make_unique<apps::MemoryBoundWorkload>(12ull << 20,
+                                                           140000));
+  ws.push_back(std::make_unique<apps::ComputeBoundWorkload>(400000));
+  return ws;
+}
+
+std::vector<std::unique_ptr<Workload>> mixed_mix() {
+  // A fiber-driven monolithic workload co-running with steppables.
+  std::vector<std::unique_ptr<Workload>> ws;
+  ws.push_back(std::make_unique<apps::PhasedWorkload>());
+  ws.push_back(std::make_unique<apps::MemoryBoundWorkload>(8ull << 20,
+                                                           120000));
+  ws.push_back(std::make_unique<apps::ComputeBoundWorkload>(300000));
+  return ws;
+}
+
+#if defined(PCAP_SMP_LEGACY_ENGINE)
+
+TEST(SmpEquivalence, CooperativeMatchesLegacySteppable) {
+  const SmpRunReport legacy =
+      run_cell(SmpEngine::kThreadedLegacy, steppable_mix, 17);
+  const SmpRunReport coop =
+      run_cell(SmpEngine::kCooperative, steppable_mix, 17);
+  expect_identical(coop, legacy);
+}
+
+TEST(SmpEquivalence, CooperativeMatchesLegacyMixedFiberSteppable) {
+  const SmpRunReport legacy =
+      run_cell(SmpEngine::kThreadedLegacy, mixed_mix, 23);
+  const SmpRunReport coop = run_cell(SmpEngine::kCooperative, mixed_mix, 23);
+  expect_identical(coop, legacy);
+}
+
+TEST(SmpEquivalence, CooperativeMatchesLegacyUnderBmcCap) {
+  const SmpRunReport legacy =
+      run_cell(SmpEngine::kThreadedLegacy, mixed_mix, 29, 150.0);
+  const SmpRunReport coop =
+      run_cell(SmpEngine::kCooperative, mixed_mix, 29, 150.0);
+  expect_identical(coop, legacy);
+  // The cap actually bit (this is a real capped cell, not a no-op).
+  EXPECT_LE(coop.avg_power_w, 155.0);
+}
+
+#endif  // PCAP_SMP_LEGACY_ENGINE
+
+// --- native stepping vs forced continuation ---------------------------------
+
+/// Hides supports_step() so the engine must drive the same workload through
+/// a fiber; run() and step() must induce the identical priced-op sequence.
+class ForceMonolithic final : public Workload {
+ public:
+  explicit ForceMonolithic(std::unique_ptr<Workload> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override { return inner_->name(); }
+  void run(ExecutionContext& ctx) override { inner_->run(ctx); }
+
+ private:
+  std::unique_ptr<Workload> inner_;
+};
+
+TEST(SmpEquivalence, NativeStepMatchesForcedFiber) {
+  auto forced = [] {
+    std::vector<std::unique_ptr<Workload>> ws;
+    for (auto& w : steppable_mix()) {
+      ws.push_back(std::make_unique<ForceMonolithic>(std::move(w)));
+    }
+    return ws;
+  };
+  const SmpRunReport stepped =
+      run_cell(SmpEngine::kCooperative, steppable_mix, 31);
+  const SmpRunReport fibered = run_cell(SmpEngine::kCooperative, forced, 31);
+  expect_identical(stepped, fibered);
+}
+
+// --- quantum-boundary batching legality -------------------------------------
+
+constexpr std::uint64_t kSweepBytes = 1ull << 20;
+constexpr std::int64_t kSweepStride = 64;
+constexpr int kSweepReps = 24;
+
+/// Sweeps a buffer with the batched stream API. Monolithic on purpose: the
+/// lane suspends it mid-stream at quantum boundaries.
+class StreamSweep final : public Workload {
+ public:
+  std::string name() const override { return "sweep"; }
+  void run(ExecutionContext& ctx) override {
+    const Address base = ctx.alloc(kSweepBytes);
+    for (int rep = 0; rep < kSweepReps; ++rep) {
+      ctx.load_stream(base, kSweepStride, kSweepBytes / kSweepStride);
+      ctx.compute(64);
+    }
+  }
+};
+
+/// The per-op twin: the same logical access sequence, one load at a time.
+class LoopSweep final : public Workload {
+ public:
+  std::string name() const override { return "sweep"; }
+  void run(ExecutionContext& ctx) override {
+    const Address base = ctx.alloc(kSweepBytes);
+    for (int rep = 0; rep < kSweepReps; ++rep) {
+      Address addr = base;
+      for (std::uint64_t i = 0; i < kSweepBytes / kSweepStride; ++i) {
+        ctx.load(addr);
+        addr += static_cast<Address>(kSweepStride);
+      }
+      ctx.compute(64);
+    }
+  }
+};
+
+TEST(SmpEquivalence, StreamBatchingLegalUnderCoRunners) {
+  // The antagonist thrashes the shared L3, so the sweep's access outcomes
+  // depend on the exact interleaving: any illegal batching across a quantum
+  // boundary (or across an op the co-runner should have interposed) would
+  // shift misses and break bit-identity.
+  auto streamed = [] {
+    std::vector<std::unique_ptr<Workload>> ws;
+    ws.push_back(std::make_unique<StreamSweep>());
+    ws.push_back(std::make_unique<apps::MemoryBoundWorkload>(16ull << 20,
+                                                             200000));
+    return ws;
+  };
+  auto looped = [] {
+    std::vector<std::unique_ptr<Workload>> ws;
+    ws.push_back(std::make_unique<LoopSweep>());
+    ws.push_back(std::make_unique<apps::MemoryBoundWorkload>(16ull << 20,
+                                                             200000));
+    return ws;
+  };
+  const SmpRunReport fast = run_cell(SmpEngine::kCooperative, streamed, 37);
+  const SmpRunReport slow = run_cell(SmpEngine::kCooperative, looped, 37);
+  expect_identical(fast, slow);
+  // The cell is genuinely contended — the sweep saw shared-L3 misses.
+  EXPECT_GT(fast.cores[0].counter(Event::kL3Tcm), 1000u);
+}
+
+// --- `--jobs` invariance for SMP cells --------------------------------------
+
+TEST(SmpEquivalence, SmpCellsAreJobsInvariant) {
+  const double kCaps[] = {170.0, 160.0, 150.0, 140.0};
+  auto run_all = [&kCaps](std::size_t threads) {
+    std::vector<SmpRunReport> reports(4);
+    util::parallel_for(4, threads, [&](std::size_t i) {
+      reports[i] = run_cell(SmpEngine::kCooperative, mixed_mix,
+                            41 + i, kCaps[i]);
+    });
+    return reports;
+  };
+  const auto serial = run_all(1);
+  const auto pooled = run_all(4);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], pooled[i]);
+  }
+}
+
+// --- exception safety -------------------------------------------------------
+
+/// Holds a stack sentinel whose destructor records the unwind; the workload
+/// itself never finishes within the run.
+class GuardedWorkload final : public Workload {
+ public:
+  explicit GuardedWorkload(bool* unwound) : unwound_(unwound) {}
+  std::string name() const override { return "guarded"; }
+  void run(ExecutionContext& ctx) override {
+    struct Sentinel {
+      bool* flag;
+      ~Sentinel() { *flag = true; }
+    } sentinel{unwound_};
+    const Address base = ctx.alloc(1ull << 20);
+    for (std::uint64_t i = 0; i < 50'000'000; ++i) {
+      ctx.load(base + (i * 64) % (1ull << 20));
+      ctx.compute(2);
+    }
+  }
+
+ private:
+  bool* unwound_;
+};
+
+class ThrowingWorkload final : public Workload {
+ public:
+  std::string name() const override { return "throwing"; }
+  void run(ExecutionContext& ctx) override {
+    ctx.compute(1000);
+    throw std::runtime_error("workload boom");
+  }
+};
+
+TEST(SmpEquivalence, ThrowingWorkloadUnwindsSuspendedCoRunner) {
+  SmpNode node(make_config(2, SmpEngine::kCooperative), 43);
+  bool unwound = false;
+  GuardedWorkload guarded(&unwound);
+  ThrowingWorkload throwing;
+  std::vector<Workload*> ws{&guarded, &throwing};
+  EXPECT_THROW(node.run(ws), std::runtime_error);
+  // The co-runner was suspended mid-run; its stack must have unwound
+  // through the sentinel's destructor before run() threw.
+  EXPECT_TRUE(unwound);
+
+  // The engine stays usable after the failed run.
+  apps::ComputeBoundWorkload again(100000);
+  std::vector<Workload*> retry{&again};
+  const SmpRunReport r = node.run(retry);
+  EXPECT_EQ(r.counter(Event::kTotIns), 100000u);
+}
+
+TEST(SmpEquivalence, ThrowingControlHookUnwindsRun) {
+  SmpNode node(make_config(2, SmpEngine::kCooperative), 47);
+  node.set_control_hook(
+      [](PlatformControl&) { throw std::runtime_error("hook boom"); });
+  bool unwound = false;
+  GuardedWorkload guarded(&unwound);
+  apps::ComputeBoundWorkload compute(4000000);
+  std::vector<Workload*> ws{&guarded, &compute};
+  EXPECT_THROW(node.run(ws), std::runtime_error);
+  EXPECT_TRUE(unwound);
+
+  node.set_control_hook({});
+  apps::ComputeBoundWorkload again(100000);
+  std::vector<Workload*> retry{&again};
+  const SmpRunReport r = node.run(retry);
+  EXPECT_EQ(r.counter(Event::kTotIns), 100000u);
+}
+
+#if defined(PCAP_SMP_LEGACY_ENGINE)
+
+TEST(SmpEquivalence, LegacyEngineSurvivesThrowingWorkload) {
+  // The pre-rewrite engine leaked joinable threads (std::terminate) here;
+  // the repaired shutdown path must join every lane and rethrow.
+  SmpNode node(make_config(2, SmpEngine::kThreadedLegacy), 53);
+  bool unwound = false;
+  GuardedWorkload guarded(&unwound);
+  ThrowingWorkload throwing;
+  std::vector<Workload*> ws{&guarded, &throwing};
+  EXPECT_THROW(node.run(ws), std::runtime_error);
+  EXPECT_TRUE(unwound);
+
+  apps::ComputeBoundWorkload again(100000);
+  std::vector<Workload*> retry{&again};
+  const SmpRunReport r = node.run(retry);
+  EXPECT_EQ(r.counter(Event::kTotIns), 100000u);
+}
+
+TEST(SmpEquivalence, LegacyEngineSurvivesThrowingControlHook) {
+  SmpNode node(make_config(2, SmpEngine::kThreadedLegacy), 59);
+  node.set_control_hook(
+      [](PlatformControl&) { throw std::runtime_error("hook boom"); });
+  bool unwound = false;
+  GuardedWorkload guarded(&unwound);
+  apps::ComputeBoundWorkload compute(4000000);
+  std::vector<Workload*> ws{&guarded, &compute};
+  EXPECT_THROW(node.run(ws), std::runtime_error);
+  EXPECT_TRUE(unwound);
+
+  node.set_control_hook({});
+  apps::ComputeBoundWorkload again(100000);
+  std::vector<Workload*> retry{&again};
+  const SmpRunReport r = node.run(retry);
+  EXPECT_EQ(r.counter(Event::kTotIns), 100000u);
+}
+
+#endif  // PCAP_SMP_LEGACY_ENGINE
+
+// --- telemetry neutrality ---------------------------------------------------
+
+TEST(SmpEquivalence, TelemetryProbesAreBitNeutral) {
+  if constexpr (!telemetry::kCompiledIn) GTEST_SKIP();
+
+  const SmpRunReport bare =
+      run_cell(SmpEngine::kCooperative, steppable_mix, 61, 160.0);
+
+  telemetry::TelemetryConfig tconfig;
+  tconfig.enabled = true;
+  tconfig.sample_period = util::microseconds(20);
+  telemetry::NodeProbe package(tconfig, nullptr, nullptr, "package");
+  telemetry::NodeProbe core0(tconfig, nullptr, nullptr, "core0");
+  telemetry::NodeProbe core1(tconfig, nullptr, nullptr, "core1");
+
+  auto workloads = steppable_mix();
+  std::vector<Workload*> ptrs;
+  for (auto& w : workloads) ptrs.push_back(w.get());
+  SmpNode node(make_config(2, SmpEngine::kCooperative), 61);
+  core::Bmc bmc(node);
+  node.set_control_hook([&bmc](PlatformControl&) { bmc.on_control_tick(); });
+  bmc.set_cap(160.0);
+  node.set_telemetry(&package);
+  std::vector<telemetry::NodeProbe*> cores{&core0, &core1};
+  node.set_core_telemetry(cores);
+  const SmpRunReport probed = node.run(ptrs);
+
+  expect_identical(probed, bare);
+
+  // The probes really sampled, and the per-core series are per-core: the
+  // memory-bound lane misses L1 where the compute-bound lane cannot.
+  EXPECT_GT(package.sampler().taken(), 2u);
+  EXPECT_GT(core0.sampler().taken(), 2u);
+  EXPECT_GT(core1.sampler().taken(), 2u);
+  const auto l1_miss = [](const telemetry::NodeSample& s) {
+    return s.l1_miss_rate;
+  };
+  EXPECT_GT(core0.sampler().aggregate(l1_miss).mean,
+            core1.sampler().aggregate(l1_miss).mean);
+}
+
+}  // namespace
+}  // namespace pcap::sim

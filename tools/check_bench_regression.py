@@ -57,6 +57,16 @@ OVERHEAD_CASES = [
     # uniform split: measured ~160x (8 nodes, 200 W surplus); the limit
     # catches the loop going quadratic without flagging noise.
     ("BM_SchedPlanAmenability", "BM_SchedPlanUniform", 400.0),
+    # Cooperative SMP engine floor: the single-threaded run queue must stay
+    # >= 2x faster than the legacy thread-per-core token engine on the same
+    # co-run cell (bit-identical reports per tests/test_smp_equivalence.cpp).
+    # The *Threaded cases exist only when the bench binary was built with
+    # PCAP_SMP_LEGACY_ENGINE=ON (the default, and what CI builds).
+    ("BM_SmpCoRun2", "BM_SmpCoRun2Threaded", 0.5),
+    ("BM_SmpCoRun4", "BM_SmpCoRun4Threaded", 0.5),
+    # Chunk memoization floor: a memo hit (key + lookup + replay) must stay
+    # >= 5x cheaper than the pure chunk simulation a miss pays.
+    ("BM_SchedChunkMemoHit", "BM_SchedChunkMemoMiss", 0.2),
 ]
 
 
@@ -67,7 +77,11 @@ def load_times(path):
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
-        times[b["name"]] = float(b["real_time"])
+        # Benchmarks registered with an explicit MinTime() get the setting
+        # appended to their name (e.g. "BM_SmpCoRun2/min_time:1.000");
+        # strip it so gates refer to the plain case name.
+        name = b["name"].split("/min_time:")[0]
+        times[name] = float(b["real_time"])
     return times
 
 
