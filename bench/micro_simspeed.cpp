@@ -12,9 +12,11 @@
 #include "core/bmc.hpp"
 #include "mem/dram.hpp"
 #include "power/model.hpp"
+#include "sched/arrivals.hpp"
 #include "sched/chunk_cache.hpp"
 #include "sched/job.hpp"
 #include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/execution_context.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/node.hpp"
@@ -367,6 +369,61 @@ void BM_SchedChunkMemoHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchedChunkMemoHit);
+
+// Whole-scheduler event loop on a classic single-job-per-node rack: the
+// placement/replan/chunk-start machinery end to end, with nothing ever
+// co-resident. check_bench_regression.py guards this case cross-run at a
+// tight 5% threshold, so the per-lane co-scheduling machinery cannot tax
+// schedules that never use it.
+void BM_SchedRunLane1(benchmark::State& state) {
+  const sched::AmenabilityTable table = make_synthetic_table();
+  sched::ArrivalConfig arrivals;
+  arrivals.job_count = 4;
+  arrivals.min_chunks = 2;
+  arrivals.max_chunks = 3;
+  arrivals.class_weights = {1.0, 1.0, 0.0, 0.0};
+  arrivals.seed = 11;
+  const std::vector<sched::JobSpec> stream = sched::generate_stream(arrivals);
+  for (auto _ : state) {
+    sched::SchedulerConfig config;
+    config.node_count = 2;
+    config.budget_w = 300.0;
+    config.policy_name = "amenability";
+    config.seed = 11;
+    config.table = &table;
+    sched::ClusterScheduler scheduler(config);
+    benchmark::DoNotOptimize(scheduler.run(stream).makespan_s);
+  }
+}
+BENCHMARK(BM_SchedRunLane1);
+
+// The same rack with two lanes per node and enough queue pressure that
+// chunks genuinely co-run: exercises the SmpNode co-run cells, the co-run
+// memo, and the per-lane placement path. Not ratcheted against a baseline
+// (co-run cells are real multi-core simulation, priced separately from the
+// lane-1 fast path the 5% gate guards); tracked for visibility.
+void BM_SchedRunLane2(benchmark::State& state) {
+  const sched::AmenabilityTable table = make_synthetic_table();
+  sched::ArrivalConfig arrivals;
+  arrivals.job_count = 6;
+  arrivals.min_chunks = 2;
+  arrivals.max_chunks = 3;
+  arrivals.class_weights = {1.0, 1.0, 0.0, 0.0};
+  arrivals.seed = 11;
+  const std::vector<sched::JobSpec> stream = sched::generate_stream(arrivals);
+  for (auto _ : state) {
+    sched::SchedulerConfig config;
+    config.node_count = 2;
+    config.lanes_per_node = 2;
+    config.budget_w = 300.0;
+    config.policy_name = "contention";
+    config.seed = 11;
+    config.table = &table;
+    sched::ClusterScheduler scheduler(config);
+    benchmark::DoNotOptimize(scheduler.run(stream).makespan_s);
+  }
+}
+BENCHMARK(BM_SchedRunLane2);
 
 void BM_BmcControlTick(benchmark::State& state) {
   sim::Node node(sim::MachineConfig::romley());

@@ -1,0 +1,110 @@
+// Contention- and deadline-aware co-scheduling: a 4-node rack with two
+// schedulable lanes per node (DESIGN.md §13). Lanes share their node's
+// L3/DRAM and one package-level cap, so when two jobs co-run the BMC sees
+// their SUMMED draw — at a constrained budget the shared power envelope
+// throttles a co-resident pair far deeper than either job alone, and that
+// interference is emergent from the modelled hierarchy, never assumed.
+//
+// The demo replays one seeded stereo+SIRE stream (half the jobs carry
+// deadlines) under a co-run-generous budget and a constrained one:
+//  * generous: nothing throttles, every policy emits the identical
+//    schedule — lanes are pure capacity;
+//  * constrained: the contention-aware policy, which learns per-class-pair
+//    co-run penalties online from the emergent slowdowns, beats uniform
+//    packing on makespan and deadline misses.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/sched_study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcap;
+  const harness::CliOptions cli = harness::parse_cli(argc, argv);
+
+  std::printf("characterising job classes (slowdown vs cap)...\n");
+  sched::CharacterizeOptions copts;
+  copts.seed = cli.seed;
+  const std::string table_path = cli.csv_dir + "/amenability_table.json";
+  const sched::AmenabilityTable table =
+      harness::load_or_characterize(table_path, copts);
+  std::printf("table saved to %s\n\n", table_path.c_str());
+
+  harness::SchedStudyConfig study;
+  study.node_count = 4;
+  study.lanes_per_node = cli.lanes > 0 ? cli.lanes : 2;
+  study.policies =
+      cli.policy.empty()
+          ? std::vector<std::string>{"uniform", "deadline", "contention"}
+          : std::vector<std::string>{cli.policy};
+  // Generous covers the rack's co-run draw (~4 x 2 x 156 W); constrained
+  // sits just under the rack's one-lane draw, so co-resident nodes are
+  // throttled well below twice their solo demand.
+  study.budgets_w = cli.budget_w > 0.0 ? std::vector<double>{cli.budget_w}
+                                       : std::vector<double>{1280.0, 600.0};
+  study.arrivals.job_count = cli.arrivals > 0 ? cli.arrivals : 12;
+  study.arrivals.class_weights = {1.0, 1.0, 0.0, 0.0};  // SIRE + stereo
+  study.arrivals.min_chunks = 3;
+  study.arrivals.max_chunks = 8;
+  study.arrivals.deadline_fraction = 0.5;
+  study.arrivals.deadline_factor = 0.6;
+  study.seed = cli.seed;
+  study.jobs = cli.jobs;
+  study.table = &table;
+
+  std::printf("co-scheduling %d jobs on %zu nodes x %zu lanes...\n\n",
+              study.arrivals.job_count, study.node_count,
+              study.lanes_per_node);
+  const auto rows = harness::run_sched_study(study);
+
+  std::printf("%-12s %9s %12s %10s %7s %7s %6s %11s\n", "policy", "budget",
+              "makespan_us", "energy_j", "misses", "corun", "cells",
+              "violations");
+  for (const auto& row : rows) {
+    std::printf("%-12s %7.0f W %12.1f %10.4f %7d %7llu %6llu %11llu\n",
+                row.policy.c_str(), row.budget_w,
+                row.result.makespan_s * 1e6, row.result.total_energy_j,
+                row.result.deadline_misses,
+                static_cast<unsigned long long>(row.result.corun_chunks),
+                static_cast<unsigned long long>(row.result.corun_cells),
+                static_cast<unsigned long long>(row.result.budget_violations));
+  }
+
+  const double tight =
+      *std::min_element(study.budgets_w.begin(), study.budgets_w.end());
+  const sched::ScheduleResult* uniform = nullptr;
+  const sched::ScheduleResult* contention = nullptr;
+  for (const auto& row : rows) {
+    if (row.budget_w != tight) continue;
+    if (row.policy == "uniform") uniform = &row.result;
+    if (row.policy == "contention") contention = &row.result;
+  }
+  if (uniform != nullptr && contention != nullptr) {
+    std::printf(
+        "\nat %.0f W: contention makespan %.1f us vs uniform %.1f us "
+        "(%.1f%% faster), deadline misses %d vs %d\n",
+        tight, contention->makespan_s * 1e6, uniform->makespan_s * 1e6,
+        100.0 * (1.0 - contention->makespan_s / uniform->makespan_s),
+        contention->deadline_misses, uniform->deadline_misses);
+
+    // Where every job actually ran under the contention-aware plan: lane
+    // assignments and how much of each job's work was co-resident.
+    std::printf("\ncontention placement at %.0f W:\n", tight);
+    std::printf("  %3s %-11s %5s %5s %7s %7s %7s %7s\n", "job", "class",
+                "node", "lane", "start", "finish", "corun", "missed");
+    for (const auto& job : contention->jobs) {
+      std::printf("  %3d %-11s %5d %5d %6.0fu %6.0fu %4d/%-2d %7s\n",
+                  job.spec.id, sched::job_class_name(job.spec.cls).c_str(),
+                  job.node, job.lane, job.start_s * 1e6, job.finish_s * 1e6,
+                  job.corun_chunks, job.spec.chunks,
+                  job.missed_deadline ? "MISS" : "-");
+    }
+  }
+
+  const std::string csv_path = cli.csv_dir + "/cosched_rack.csv";
+  harness::write_sched_csv(csv_path, rows);
+  std::printf("\nresults CSV: %s\n", csv_path.c_str());
+  return 0;
+}

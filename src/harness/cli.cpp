@@ -70,6 +70,12 @@ const std::vector<OptionSpec>& option_table() {
        }},
       {"--arrivals", "N", "job-stream length (sched binaries)",
        [](CliOptions& o, std::string_view v) { o.arrivals = to_int(v); }},
+      {"--lanes", "N",
+       "schedulable lanes per node; >1 co-runs jobs on the shared "
+       "hierarchy (sched binaries)",
+       [](CliOptions& o, std::string_view v) {
+         o.lanes = static_cast<std::size_t>(to_int(v));
+       }},
   };
   return table;
 }

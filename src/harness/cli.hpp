@@ -38,6 +38,7 @@ struct CliOptions {
   std::string policy;                // empty: binary default / full sweep
   double budget_w = 0.0;             // 0: binary default
   int arrivals = 0;                  // 0: binary default
+  std::size_t lanes = 0;             // 0: binary default (sched binaries)
 
   /// Effective repetitions: explicit --reps wins, else full ? 5 : quick_reps.
   int repetitions(int quick_reps) const {

@@ -23,6 +23,7 @@ std::vector<SchedStudyRow> run_sched_study(const SchedStudyConfig& config) {
     for (const std::string& policy : policies) {
       sched::SchedulerConfig sc;
       sc.node_count = config.node_count;
+      sc.lanes_per_node = config.lanes_per_node;
       sc.budget_w = budget_w;
       sc.policy_name = policy;
       sc.seed = config.seed;
@@ -59,8 +60,8 @@ void write_sched_csv(const std::string& path,
            "idle_energy_j", "total_energy_j", "deadline_misses",
            "mean_turnaround_s", "replans", "cap_updates",
            "cap_update_failures", "infeasible_plans", "budget_violations",
-           "max_cap_sum_w", "chunks", "mgmt_retries",
-           "mgmt_failed_exchanges"});
+           "max_cap_sum_w", "chunks", "corun_chunks", "corun_cells",
+           "mgmt_retries", "mgmt_failed_exchanges"});
   for (const SchedStudyRow& row : rows) {
     const sched::ScheduleResult& r = row.result;
     csv.field(row.policy)
@@ -78,6 +79,8 @@ void write_sched_csv(const std::string& path,
         .field(r.budget_violations)
         .field(r.max_cap_sum_w)
         .field(r.chunks)
+        .field(r.corun_chunks)
+        .field(r.corun_cells)
         .field(r.mgmt_retries)
         .field(r.mgmt_failed_exchanges);
     csv.end_row();

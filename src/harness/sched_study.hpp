@@ -17,6 +17,9 @@ namespace pcap::harness {
 
 struct SchedStudyConfig {
   std::size_t node_count = 8;
+  /// Schedulable lanes per node (SchedulerConfig::lanes_per_node); >1
+  /// co-schedules jobs onto the shared hierarchy under one package cap.
+  std::size_t lanes_per_node = 1;
   /// Policies to sweep; empty selects sched::policy_names().
   std::vector<std::string> policies;
   /// Group budgets (W) to sweep, one column per value.

@@ -1,6 +1,7 @@
 #include "sched/chunk_cache.hpp"
 
 #include "sim/node.hpp"
+#include "sim/smp_node.hpp"
 #include "util/rng.hpp"
 
 namespace pcap::sched {
@@ -43,6 +44,59 @@ ChunkResult simulate_chunk(const sim::MachineConfig& machine,
   (void)node.run(*workload);
   const sim::RunReport report = node.run(*workload);
   return ChunkResult{report.elapsed, report.energy_j, report.avg_power_w};
+}
+
+std::vector<ChunkResult> simulate_corun_cell(
+    const sim::MachineConfig& machine, const core::BmcConfig& bmc_config,
+    const CoRunKey& key, std::uint64_t node_seed_material,
+    util::Picoseconds quantum) {
+  // Same seeding contract as the solo path: the node seed depends on the
+  // scheduler's seed only — never the slot, never the key — so identical
+  // cells replay bit-exactly wherever they land and a cap that does not
+  // bite leaves the cell identical to an uncapped one.
+  std::uint64_t sm = node_seed_material;
+  const std::uint64_t node_seed = util::splitmix64(sm);
+
+  sim::SmpConfig config;
+  config.machine = machine;
+  config.cores = static_cast<int>(key.members.size());
+  config.quantum = quantum;
+  config.engine = sim::SmpEngine::kCooperative;
+  sim::SmpNode node(config, node_seed);
+  core::Bmc bmc(node, bmc_config);
+  node.set_control_hook(
+      [&bmc](sim::PlatformControl&) { bmc.on_control_tick(); });
+  const double cap_w = std::bit_cast<double>(key.cap_bits);
+  if (cap_w > 0.0) bmc.set_cap(cap_w);
+
+  // Each member gets its OWN workload instance (SmpNode rejects duplicate
+  // pointers) even when two members share an identity. Warm start mirrors
+  // the solo path: one untimed co-run settles caches, TLBs and the BMC
+  // ladder, then the second co-run is the measured cell — so the cell is
+  // the steady-state one, with the neighbours' interference baked into the
+  // warm state too.
+  std::vector<std::unique_ptr<sim::Workload>> workloads;
+  std::vector<sim::Workload*> raw;
+  workloads.reserve(key.members.size());
+  raw.reserve(key.members.size());
+  for (const CoRunMember& member : key.members) {
+    workloads.push_back(
+        make_chunk_workload(member.cls, member.seed, member.chunk_index));
+    raw.push_back(workloads.back().get());
+  }
+  (void)node.run(raw);
+  const sim::SmpRunReport report = node.run(raw);
+
+  std::vector<ChunkResult> results(key.members.size());
+  for (std::size_t i = 0; i < key.members.size(); ++i) {
+    const sim::SmpCoreReport& core_report = report.cores[i];
+    const double elapsed_s = util::to_seconds(core_report.elapsed);
+    results[i].elapsed = core_report.elapsed;
+    results[i].energy_j = core_report.energy_share_j;
+    results[i].avg_power_w =
+        elapsed_s > 0.0 ? core_report.energy_share_j / elapsed_s : 0.0;
+  }
+  return results;
 }
 
 }  // namespace pcap::sched

@@ -1,14 +1,24 @@
-// Chunk memoization for the cluster power scheduler (DESIGN.md §12).
+// Chunk memoization for the cluster power scheduler (DESIGN.md §12, §13).
 //
-// A chunk is simulated on a FRESH Node + BMC pair, so its result is a pure
-// function of (job class, workload identity, enforced cap) — the machine
-// and BMC configurations are fixed per scheduler instance and the chunk
-// duration is determined by the class, so they are factored out of the key
-// by scoping one cache to one ClusterScheduler. Arrival streams with
-// repeated (class, cap) cells then replay recorded results bit-exactly
+// A solo chunk is simulated on a FRESH Node + BMC pair, so its result is a
+// pure function of (job class, workload identity, enforced cap) — the
+// machine and BMC configurations are fixed per scheduler instance and the
+// chunk duration is determined by the class, so they are factored out of
+// the key by scoping one cache to one ClusterScheduler. Arrival streams
+// with repeated (class, cap) cells then replay recorded results bit-exactly
 // instead of re-simulating: a hit returns the identical ChunkResult the
 // miss recorded, and the schedule it produces is bit-identical to the
 // cache-off run (tests/test_scheduler.cpp).
+//
+// Under co-residency (lanes_per_node > 1) the solo key is NOT sound: the
+// same (class, identity, cap) chunk runs slower next to an L3 thrasher
+// than next to a streaming neighbour, and that slowdown is emergent from
+// the shared-hierarchy SmpNode simulation, so no per-chunk key can ignore
+// the neighbours. Co-resident chunks therefore key on the whole co-run
+// CELL — the enforced cap plus the sorted (class, identity) multiset of
+// every resident — and the cell cache memoizes the per-member results of
+// one cell simulation together (DESIGN.md §13 derives why the key must
+// grow exactly this way).
 //
 // The slot's long-lived node stays on the management plane (DCM/IPMI caps,
 // health, idle calibration); only chunk execution moved to pure simulation.
@@ -17,7 +27,9 @@
 #include <bit>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "core/bmc.hpp"
 #include "sched/job.hpp"
@@ -33,7 +45,8 @@ struct ChunkResult {
   double avg_power_w = 0.0;
 };
 
-/// Full memo key for one chunk simulation within one scheduler instance.
+/// Full memo key for one SOLO chunk simulation within one scheduler
+/// instance.
 struct ChunkKey {
   JobClass cls = JobClass::kSireLike;
   /// Workload identity: everything make_chunk_workload's output depends on
@@ -60,27 +73,90 @@ struct ChunkKeyHash {
   }
 };
 
+/// One resident of a co-run cell. Ordering and equality consider only
+/// (cls, identity) — seed/chunk_index are rebuild material for
+/// make_chunk_workload and, by the identity contract, any (seed, chunk)
+/// pair mapping to the same identity builds the bit-identical workload.
+struct CoRunMember {
+  JobClass cls = JobClass::kSireLike;
+  std::uint64_t identity = 0;
+  std::uint64_t seed = 0;
+  int chunk_index = 0;
+
+  friend bool same_key(const CoRunMember& a, const CoRunMember& b) {
+    return a.cls == b.cls && a.identity == b.identity;
+  }
+  friend bool key_less(const CoRunMember& a, const CoRunMember& b) {
+    if (a.cls != b.cls) return a.cls < b.cls;
+    return a.identity < b.identity;
+  }
+};
+
+/// Memo key for one co-run cell: the enforced cap plus the key-sorted
+/// resident multiset. Everything the cell simulation depends on.
+struct CoRunKey {
+  std::uint64_t cap_bits = std::bit_cast<std::uint64_t>(-1.0);
+  std::vector<CoRunMember> members;  // sorted with key_less
+
+  bool operator==(const CoRunKey& other) const {
+    if (cap_bits != other.cap_bits ||
+        members.size() != other.members.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!same_key(members[i], other.members[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct CoRunKeyHash {
+  std::size_t operator()(const CoRunKey& key) const {
+    std::uint64_t h = key.cap_bits;
+    for (const CoRunMember& m : key.members) {
+      h ^= m.identity + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      h ^= static_cast<std::uint64_t>(m.cls) + 0x9E3779B97F4A7C15ull +
+           (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
 /// The part of make_chunk_workload's input its output actually depends on:
 /// only kPhased chunks consume the (seed, chunk_index) mixture, so repeated
 /// cells of the other classes collapse onto one key per (class, cap).
 std::uint64_t chunk_identity(JobClass cls, std::uint64_t seed,
                              int chunk_index);
 
-/// Simulates one chunk as a pure function of the key: a fresh Node (seeded
-/// deterministically from `node_seed_material` and the key) with its own
-/// BMC enforcing `cap_w` directly — the genuine throttle ladder, minus the
-/// IPMI plane the slot's management node already modelled when the cap was
-/// applied. Thread-safe by construction (no shared state), so the `--jobs`
-/// pool may call it concurrently.
+/// Simulates one SOLO chunk as a pure function of the key: a fresh Node
+/// (seeded deterministically from `node_seed_material` and the key) with
+/// its own BMC enforcing `cap_w` directly — the genuine throttle ladder,
+/// minus the IPMI plane the slot's management node already modelled when
+/// the cap was applied. Thread-safe by construction (no shared state), so
+/// the `--jobs` pool may call it concurrently.
 ChunkResult simulate_chunk(const sim::MachineConfig& machine,
                            const core::BmcConfig& bmc_config,
                            const ChunkKey& key, std::uint64_t seed,
                            int chunk_index,
                            std::uint64_t node_seed_material);
 
-/// Unbounded per-scheduler map. Not thread-safe: the scheduler classifies
-/// hits and inserts results serially in slot order (jobs-invariance), only
-/// the miss simulations fan out.
+/// Simulates one co-run CELL as a pure function of its key: a fresh
+/// key.members.size()-core SmpNode (cooperative engine, `quantum`
+/// interleave) with its own BMC enforcing the cap package-wide, every
+/// member workload co-running over the shared L3/DRAM — contention and
+/// capped-co-run slowdown are emergent, never assumed. Returns one
+/// ChunkResult per member, parallel to key.members; per-member energy is
+/// the package energy attributed by busy time (SmpCoreReport). Like
+/// simulate_chunk, shares no state and is safe to fan out over `jobs`.
+std::vector<ChunkResult> simulate_corun_cell(
+    const sim::MachineConfig& machine, const core::BmcConfig& bmc_config,
+    const CoRunKey& key, std::uint64_t node_seed_material,
+    util::Picoseconds quantum);
+
+/// Unbounded per-scheduler maps (solo chunks and co-run cells). Not
+/// thread-safe: the scheduler classifies hits and inserts results serially
+/// in lane-major order (jobs-invariance), only the miss simulations fan
+/// out.
 class ChunkCache {
  public:
   const ChunkResult* find(const ChunkKey& key) const {
@@ -90,10 +166,23 @@ class ChunkCache {
   void insert(const ChunkKey& key, const ChunkResult& result) {
     map_.emplace(key, result);
   }
+
+  /// Per-member results of a recorded cell (parallel to key.members), or
+  /// nullptr when the cell has not been simulated yet.
+  const std::vector<ChunkResult>* find_cell(const CoRunKey& key) const {
+    const auto it = cells_.find(key);
+    return it == cells_.end() ? nullptr : &it->second;
+  }
+  void insert_cell(const CoRunKey& key, std::vector<ChunkResult> results) {
+    cells_.emplace(key, std::move(results));
+  }
+
   std::size_t size() const { return map_.size(); }
+  std::size_t cell_count() const { return cells_.size(); }
 
  private:
   std::unordered_map<ChunkKey, ChunkResult, ChunkKeyHash> map_;
+  std::unordered_map<CoRunKey, std::vector<ChunkResult>, CoRunKeyHash> cells_;
 };
 
 }  // namespace pcap::sched

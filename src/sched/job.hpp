@@ -44,11 +44,13 @@ struct JobSpec {
 struct JobRecord {
   JobSpec spec;
   int node = -1;           // rack slot the job ran on
+  int lane = 0;            // lane within the slot (0 on one-lane racks)
   double start_s = -1.0;   // first chunk dispatch time
   double finish_s = -1.0;  // last chunk completion time
   double energy_j = 0.0;   // busy energy of the job's chunks
   double avg_power_w = 0.0;
   int chunks_done = 0;
+  int corun_chunks = 0;    // chunks that ran with >=1 co-resident
   bool missed_deadline = false;
 
   bool done() const { return chunks_done >= spec.chunks; }

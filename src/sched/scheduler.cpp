@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
@@ -25,13 +26,28 @@ struct ClusterScheduler::Slot {
   std::unique_ptr<ipmi::LoopbackTransport> loopback;
   std::unique_ptr<ipmi::FaultyTransport> faulty;
 
+  /// One schedulable lane (DESIGN.md §13). Lanes share the node's
+  /// management plane and its package-level cap; execution state is per
+  /// lane. A one-lane slot is exactly the pre-lane scheduler's slot.
+  struct Lane {
+    int job = -1;               // index into the run's JobRecord vector
+    bool in_flight = false;     // a chunk is executing
+    double chunk_end_s = 0.0;
+    std::optional<double> cap_at_chunk_start;
+    ChunkResult last_chunk;
+    /// Classes co-resident when the in-flight chunk started (frozen
+    /// interference context; empty == ran solo).
+    std::vector<JobClass> corun_classes;
+  };
+
   double idle_power_w = 101.0;
-  int job = -1;               // index into the run's JobRecord vector
-  bool in_flight = false;     // a chunk is executing
-  double chunk_end_s = 0.0;
-  double idle_since_s = 0.0;  // when the slot last went idle
-  std::optional<double> cap_at_chunk_start;
-  ChunkResult last_chunk;
+  std::vector<Lane> lanes;
+  double idle_since_s = 0.0;  // when the slot last went fully idle
+
+  bool occupied() const {
+    return std::any_of(lanes.begin(), lanes.end(),
+                       [](const Lane& l) { return l.job >= 0; });
+  }
 };
 
 ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
@@ -39,6 +55,7 @@ ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
       policy_(make_policy(config.policy_name)),
       model_(config.power_model),
       dcm_(config.dcm) {
+  config_.lanes_per_node = std::max<std::size_t>(1, config_.lanes_per_node);
   model_.set_table(config_.table);
   if (config_.trace != nullptr) {
     dcm_.set_telemetry(config_.trace);
@@ -58,6 +75,7 @@ ClusterScheduler::ClusterScheduler(const SchedulerConfig& config)
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     auto slot = std::make_unique<Slot>();
     slot->name = "node-" + std::to_string(i);
+    slot->lanes.resize(config_.lanes_per_node);
     slot->node = std::make_unique<sim::Node>(
         config_.machine, config_.seed + static_cast<std::uint64_t>(i) + 1);
     slot->bmc = std::make_unique<core::Bmc>(*slot->node, config_.bmc);
@@ -175,17 +193,31 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
   std::vector<JobRecord> records(stream.size());
   for (std::size_t i = 0; i < stream.size(); ++i) records[i].spec = stream[i];
 
+  const std::size_t lanes_per_node = config_.lanes_per_node;
   std::size_t next_arrival = 0;
   std::deque<int> ready;  // indices into records, FIFO
   std::size_t remaining = stream.size();
   double t = 0.0;
   int stalled_rounds = 0;
 
+  // Predicted solo elapsed for one chunk of `cls` at `cap` — the
+  // denominator of a CoRunObservation's slowdown sample (0 == no curve).
+  auto predicted_solo_s = [&](JobClass cls, std::optional<double> cap_w) {
+    const ClassCurve* curve =
+        config_.table != nullptr ? config_.table->curve(cls) : nullptr;
+    if (curve == nullptr || curve->baseline_time_s <= 0.0) return 0.0;
+    const double slowdown =
+        cap_w && *cap_w > 0.0 ? curve->slowdown_at(*cap_w) : 1.0;
+    return curve->baseline_time_s * slowdown;
+  };
+
   while (remaining > 0) {
     // --- next event ---
     double t_next = std::numeric_limits<double>::infinity();
     for (const auto& slot : slots_) {
-      if (slot->in_flight) t_next = std::min(t_next, slot->chunk_end_s);
+      for (const Slot::Lane& lane : slot->lanes) {
+        if (lane.in_flight) t_next = std::min(t_next, lane.chunk_end_s);
+      }
     }
     if (next_arrival < stream.size()) {
       t_next = std::min(t_next, stream[next_arrival].arrival_s);
@@ -202,42 +234,70 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
       ++next_arrival;
     }
 
-    // --- chunk completions (slot order: deterministic) ---
+    // --- chunk completions ((slot, lane) order: deterministic) ---
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       Slot& slot = *slots_[i];
-      if (!slot.in_flight || slot.chunk_end_s > t + kTimeEps) continue;
-      slot.in_flight = false;
-      JobRecord& record = records[static_cast<std::size_t>(slot.job)];
-      record.energy_j += slot.last_chunk.energy_j;
-      ++record.chunks_done;
-      ++result.chunks;
-      if (config_.registry != nullptr) config_.registry->add(ctr_chunks_);
-      model_.observe(record.spec.cls, slot.cap_at_chunk_start,
-                     slot.last_chunk.avg_power_w);
-      if (record.done()) {
-        record.finish_s = slot.chunk_end_s;
-        const double busy_s = record.finish_s - record.start_s;
-        record.avg_power_w =
-            busy_s > 0.0 ? record.energy_j / busy_s : 0.0;
-        if (record.spec.deadline_s &&
-            record.finish_s > *record.spec.deadline_s + kTimeEps) {
-          record.missed_deadline = true;
-          ++result.deadline_misses;
-          if (config_.registry != nullptr) config_.registry->add(ctr_misses_);
+      for (std::size_t l = 0; l < slot.lanes.size(); ++l) {
+        Slot::Lane& lane = slot.lanes[l];
+        if (!lane.in_flight || lane.chunk_end_s > t + kTimeEps) continue;
+        lane.in_flight = false;
+        JobRecord& record = records[static_cast<std::size_t>(lane.job)];
+        record.energy_j += lane.last_chunk.energy_j;
+        ++record.chunks_done;
+        ++result.chunks;
+        if (config_.registry != nullptr) config_.registry->add(ctr_chunks_);
+        if (lane.corun_classes.empty()) {
+          // Only solo chunks feed the power model: a co-run share is an
+          // attribution of the package draw, not a node draw.
+          model_.observe(record.spec.cls, lane.cap_at_chunk_start,
+                         lane.last_chunk.avg_power_w);
+        } else {
+          ++record.corun_chunks;
         }
-        if (config_.registry != nullptr) config_.registry->add(ctr_completed_);
-        if (config_.trace != nullptr) {
-          config_.trace->span(
-              node_tracks_[i], "sched", job_class_name(record.spec.cls),
-              record.start_s * 1e6, (record.finish_s - record.start_s) * 1e6,
-              {telemetry::TraceArg::num("job", record.spec.id),
-               telemetry::TraceArg::num("chunks", record.spec.chunks),
-               telemetry::TraceArg::num("missed_deadline",
-                                        record.missed_deadline ? 1 : 0)});
+        // Every completion feeds the policy's contention learning; solo
+        // chunks arrive with an empty co_resident list.
+        CoRunObservation obs;
+        obs.cls = record.spec.cls;
+        obs.co_resident = lane.corun_classes;
+        obs.cap_w = lane.cap_at_chunk_start;
+        obs.elapsed_s = util::to_seconds(lane.last_chunk.elapsed);
+        obs.predicted_solo_s =
+            predicted_solo_s(record.spec.cls, lane.cap_at_chunk_start);
+        policy_->observe_corun(obs);
+        if (record.done()) {
+          record.finish_s = lane.chunk_end_s;
+          const double busy_s = record.finish_s - record.start_s;
+          record.avg_power_w =
+              busy_s > 0.0 ? record.energy_j / busy_s : 0.0;
+          if (record.spec.deadline_s &&
+              record.finish_s > *record.spec.deadline_s + kTimeEps) {
+            record.missed_deadline = true;
+            ++result.deadline_misses;
+            if (config_.registry != nullptr) {
+              config_.registry->add(ctr_misses_);
+            }
+          }
+          if (config_.registry != nullptr) {
+            config_.registry->add(ctr_completed_);
+          }
+          if (config_.trace != nullptr) {
+            config_.trace->span(
+                node_tracks_[i], "sched", job_class_name(record.spec.cls),
+                record.start_s * 1e6,
+                (record.finish_s - record.start_s) * 1e6,
+                {telemetry::TraceArg::num("job", record.spec.id),
+                 telemetry::TraceArg::num("chunks", record.spec.chunks),
+                 telemetry::TraceArg::num("lane",
+                                          static_cast<double>(l)),
+                 telemetry::TraceArg::num("corun_chunks",
+                                          record.corun_chunks),
+                 telemetry::TraceArg::num("missed_deadline",
+                                          record.missed_deadline ? 1 : 0)});
+          }
+          lane.job = -1;
+          if (!slot.occupied()) slot.idle_since_s = lane.chunk_end_s;
+          --remaining;
         }
-        slot.job = -1;
-        slot.idle_since_s = slot.chunk_end_s;
-        --remaining;
       }
     }
 
@@ -250,6 +310,7 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
     input.min_cap_w = config_.bmc.min_cap_w;
     input.max_cap_w = config_.bmc.max_cap_w;
     input.now_s = t;
+    input.lanes_per_node = lanes_per_node;
     input.table = config_.table;
     input.model = &model_;
     std::vector<bool> available(slots_.size(), true);
@@ -260,15 +321,36 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
       const auto health = dcm_.node_health(slot.name);
       view.available = !health || *health != core::NodeHealth::kLost;
       available[i] = view.available;
-      view.busy = slot.job >= 0;
-      if (view.busy) {
-        const JobRecord& record = records[static_cast<std::size_t>(slot.job)];
-        view.cls = record.spec.cls;
-        view.remaining_chunks = record.spec.chunks - record.chunks_done;
-        view.deadline_s = record.spec.deadline_s;
+      view.lanes.reserve(slot.lanes.size());
+      for (std::size_t l = 0; l < slot.lanes.size(); ++l) {
+        const Slot::Lane& lane = slot.lanes[l];
+        LaneView lane_view;
+        lane_view.lane = l;
+        lane_view.busy = lane.job >= 0;
+        if (lane_view.busy) {
+          const JobRecord& record =
+              records[static_cast<std::size_t>(lane.job)];
+          lane_view.cls = record.spec.cls;
+          lane_view.remaining_chunks =
+              record.spec.chunks - record.chunks_done;
+          lane_view.deadline_s = record.spec.deadline_s;
+          // Aggregates for lane-blind policies: first busy lane's class,
+          // lane-max remaining work, earliest deadline.
+          if (!view.busy) {
+            view.busy = true;
+            view.cls = lane_view.cls;
+          }
+          view.remaining_chunks =
+              std::max(view.remaining_chunks, lane_view.remaining_chunks);
+          if (lane_view.deadline_s &&
+              (!view.deadline_s || *lane_view.deadline_s < *view.deadline_s)) {
+            view.deadline_s = lane_view.deadline_s;
+          }
+        }
+        view.lanes.push_back(std::move(lane_view));
       }
       view.applied_cap_w = dcm_.node_applied_cap(slot.name);
-      input.nodes.push_back(view);
+      input.nodes.push_back(std::move(view));
     }
     for (const int job : ready) {
       const JobSpec& spec = records[static_cast<std::size_t>(job)].spec;
@@ -325,34 +407,70 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
            telemetry::TraceArg::num("feasible", feasible ? 1 : 0)});
     }
 
-    // --- placement: FIFO onto admitting idle nodes, slot order ---
-    auto place = [&](std::size_t i) {
-      Slot& slot = *slots_[i];
-      const int job = ready.front();
-      ready.pop_front();
-      slot.job = job;
-      JobRecord& record = records[static_cast<std::size_t>(job)];
-      record.node = static_cast<int>(i);
-      record.start_s = t;
-      result.idle_energy_j +=
-          slot.idle_power_w * std::max(0.0, t - slot.idle_since_s);
+    // --- placement ---
+    // Policy placements first (entries naming a lane that is not idle,
+    // admitted and reachable fall back to FIFO), then the default FIFO
+    // fill in lane-major order: lane 0 of every node before lane 1 of any,
+    // so co-runs only happen once every node is carrying work — and a
+    // one-lane rack reduces to the classic slot-order fill.
+    auto lane_free = [&](std::size_t i, std::size_t l) {
+      return available[i] && plan.admit[i] &&
+             slots_[i]->lanes[l].job < 0 && !slots_[i]->lanes[l].in_flight;
     };
-    for (std::size_t i = 0; i < slots_.size() && !ready.empty(); ++i) {
-      if (available[i] && slots_[i]->job < 0 && !slots_[i]->in_flight &&
-          plan.admit[i]) {
-        place(i);
+    auto place = [&](std::size_t i, std::size_t l, int job) {
+      Slot& slot = *slots_[i];
+      JobRecord& record = records[static_cast<std::size_t>(job)];
+      if (!slot.occupied()) {
+        result.idle_energy_j +=
+            slot.idle_power_w * std::max(0.0, t - slot.idle_since_s);
+      }
+      slot.lanes[l].job = job;
+      record.node = static_cast<int>(i);
+      record.lane = static_cast<int>(l);
+      record.start_s = t;
+    };
+    {
+      std::vector<int> queue(ready.begin(), ready.end());
+      std::vector<bool> taken(queue.size(), false);
+      for (std::size_t q = 0;
+           q < plan.placement.size() && q < queue.size(); ++q) {
+        const int flat = plan.placement[q];
+        if (flat < 0) continue;
+        const std::size_t i =
+            static_cast<std::size_t>(flat) / lanes_per_node;
+        const std::size_t l =
+            static_cast<std::size_t>(flat) % lanes_per_node;
+        if (i >= slots_.size() || !lane_free(i, l)) continue;
+        place(i, l, queue[q]);
+        taken[q] = true;
+      }
+      std::size_t next_q = 0;
+      for (std::size_t l = 0; l < lanes_per_node; ++l) {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+          while (next_q < queue.size() && taken[next_q]) ++next_q;
+          if (next_q >= queue.size()) break;
+          if (!lane_free(i, l)) continue;
+          place(i, l, queue[next_q]);
+          taken[next_q] = true;
+        }
+      }
+      ready.clear();
+      for (std::size_t q = 0; q < queue.size(); ++q) {
+        if (!taken[q]) ready.push_back(queue[q]);
       }
     }
     // A fully parked, fully idle rack must not deadlock the queue: force
     // the head job onto the first reachable idle node.
     const bool anything_running =
         std::any_of(slots_.begin(), slots_.end(), [](const auto& s) {
-          return s->in_flight || s->job >= 0;
+          return s->occupied();
         });
     if (!anything_running && !ready.empty() && next_arrival >= stream.size()) {
       for (std::size_t i = 0; i < slots_.size(); ++i) {
-        if (available[i] && slots_[i]->job < 0) {
-          place(i);
+        if (available[i] && slots_[i]->lanes[0].job < 0) {
+          const int job = ready.front();
+          ready.pop_front();
+          place(i, 0, job);
           ++result.forced_admissions;
           break;
         }
@@ -360,58 +478,162 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
     }
 
     // --- start chunks ---
-    // A chunk is a pure function of its ChunkKey (fresh Node + BMC under
-    // the enforced cap, DESIGN.md §12), so starts proceed in three
-    // deterministic stages: a serial prepass in slot order classifies each
-    // start as memo hit or miss, the misses fan out over the `jobs` pool
-    // (the cache is not touched concurrently), and a serial epilogue in
-    // slot order records the results. Hit/miss accounting and the schedule
-    // are therefore invariant under both `jobs` and `memo`.
-    std::vector<std::size_t> starters;
+    // A solo chunk is a pure function of its ChunkKey and a co-resident
+    // chunk of its co-run CellKey (fresh Node / SmpNode + BMC under the
+    // enforced cap, DESIGN.md §12-§13), so starts proceed in three
+    // deterministic stages: a serial prepass in (slot, lane) order
+    // classifies each start as solo or co-run and as memo hit or miss
+    // (identical cells within a round are deduplicated), the misses fan
+    // out over the `jobs` pool (the cache is not touched concurrently),
+    // and a serial epilogue in the same order records the results.
+    // Hit/miss accounting and the schedule are therefore invariant under
+    // both `jobs` and `memo`.
+    struct Starter {
+      std::size_t slot = 0;
+      std::size_t lane = 0;
+      bool corun = false;
+      ChunkKey key;                 // solo
+      const ChunkResult* hit = nullptr;
+      std::size_t cell = 0;         // index into cells (corun)
+      std::size_t member = 0;       // own position in the cell's members
+    };
+    struct CellWork {
+      CoRunKey key;
+      const std::vector<ChunkResult>* hit = nullptr;
+      std::vector<ChunkResult> fresh;
+    };
+    std::vector<Starter> starters;
+    std::vector<CellWork> cells;
+    std::unordered_map<CoRunKey, std::size_t, CoRunKeyHash> cell_index;
+    auto current_member = [&](const Slot::Lane& lane) {
+      const JobRecord& record = records[static_cast<std::size_t>(lane.job)];
+      CoRunMember member;
+      member.cls = record.spec.cls;
+      member.identity = chunk_identity(record.spec.cls, record.spec.seed,
+                                       record.chunks_done);
+      member.seed = record.spec.seed;
+      member.chunk_index = record.chunks_done;
+      return member;
+    };
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       Slot& slot = *slots_[i];
-      if (slot.job >= 0 && !slot.in_flight) {
-        slot.cap_at_chunk_start = dcm_.node_applied_cap(slot.name);
-        starters.push_back(i);
+      for (std::size_t l = 0; l < slot.lanes.size(); ++l) {
+        Slot::Lane& lane = slot.lanes[l];
+        if (lane.job < 0 || lane.in_flight) continue;
+        lane.cap_at_chunk_start = dcm_.node_applied_cap(slot.name);
+        lane.corun_classes.clear();
+        Starter starter;
+        starter.slot = i;
+        starter.lane = l;
+        const CoRunMember self = current_member(lane);
+        std::vector<CoRunMember> members{self};
+        for (std::size_t o = 0; o < slot.lanes.size(); ++o) {
+          if (o == l || slot.lanes[o].job < 0) continue;
+          members.push_back(current_member(slot.lanes[o]));
+          lane.corun_classes.push_back(members.back().cls);
+        }
+        if (members.size() == 1) {
+          // Solo: the pre-lane path, bit-identical at lanes_per_node = 1.
+          starter.key.cls = self.cls;
+          starter.key.identity = self.identity;
+          starter.key.cap_bits =
+              ChunkKey::encode_cap(lane.cap_at_chunk_start);
+          if (config_.memo) starter.hit = chunk_cache_.find(starter.key);
+          ++(starter.hit != nullptr ? result.memo_hits
+                                    : result.memo_misses);
+        } else {
+          starter.corun = true;
+          std::sort(members.begin(), members.end(),
+                    [](const CoRunMember& a, const CoRunMember& b) {
+                      return key_less(a, b);
+                    });
+          CoRunKey key;
+          key.cap_bits = ChunkKey::encode_cap(lane.cap_at_chunk_start);
+          key.members = std::move(members);
+          // Own result = first occurrence of own (cls, identity) in the
+          // sorted member list (duplicates are interchangeable: the cell
+          // is a pure function of the key).
+          for (std::size_t m = 0; m < key.members.size(); ++m) {
+            if (same_key(key.members[m], self)) {
+              starter.member = m;
+              break;
+            }
+          }
+          const auto found = cell_index.find(key);
+          if (found != cell_index.end()) {
+            starter.cell = found->second;
+          } else {
+            starter.cell = cells.size();
+            cell_index.emplace(key, cells.size());
+            CellWork work;
+            if (config_.memo) work.hit = chunk_cache_.find_cell(key);
+            work.key = std::move(key);
+            cells.push_back(std::move(work));
+          }
+          ++(cells[starter.cell].hit != nullptr ? result.memo_hits
+                                                : result.memo_misses);
+          ++result.corun_chunks;
+        }
+        starters.push_back(std::move(starter));
       }
-    }
-    std::vector<ChunkKey> keys(starters.size());
-    std::vector<const ChunkResult*> hits(starters.size(), nullptr);
-    for (std::size_t k = 0; k < starters.size(); ++k) {
-      const Slot& slot = *slots_[starters[k]];
-      const JobRecord& record = records[static_cast<std::size_t>(slot.job)];
-      keys[k].cls = record.spec.cls;
-      keys[k].identity = chunk_identity(record.spec.cls, record.spec.seed,
-                                        record.chunks_done);
-      keys[k].cap_bits = ChunkKey::encode_cap(slot.cap_at_chunk_start);
-      if (config_.memo) hits[k] = chunk_cache_.find(keys[k]);
-      ++(hits[k] != nullptr ? result.memo_hits : result.memo_misses);
     }
     std::vector<ChunkResult> fresh(starters.size());
     util::parallel_for(
         starters.size(), config_.jobs, [&](std::size_t k) {
-          if (hits[k] != nullptr) return;
-          const Slot& slot = *slots_[starters[k]];
+          const Starter& starter = starters[k];
+          if (starter.corun || starter.hit != nullptr) return;
+          const Slot& slot = *slots_[starter.slot];
+          const Slot::Lane& lane = slot.lanes[starter.lane];
           const JobRecord& record =
-              records[static_cast<std::size_t>(slot.job)];
-          fresh[k] = simulate_chunk(config_.machine, config_.bmc, keys[k],
-                                    record.spec.seed, record.chunks_done,
-                                    config_.seed);
+              records[static_cast<std::size_t>(lane.job)];
+          fresh[k] = simulate_chunk(config_.machine, config_.bmc,
+                                    starter.key, record.spec.seed,
+                                    record.chunks_done, config_.seed);
         });
+    util::parallel_for(
+        cells.size(), config_.jobs, [&](std::size_t c) {
+          if (cells[c].hit != nullptr) return;
+          cells[c].fresh =
+              simulate_corun_cell(config_.machine, config_.bmc,
+                                  cells[c].key, config_.seed,
+                                  config_.corun_quantum);
+        });
+    result.corun_cells += static_cast<std::uint64_t>(std::count_if(
+        cells.begin(), cells.end(),
+        [](const CellWork& c) { return c.hit == nullptr; }));
     for (std::size_t k = 0; k < starters.size(); ++k) {
-      Slot& slot = *slots_[starters[k]];
-      slot.last_chunk = hits[k] != nullptr ? *hits[k] : fresh[k];
-      if (config_.memo && hits[k] == nullptr) {
-        chunk_cache_.insert(keys[k], fresh[k]);
+      const Starter& starter = starters[k];
+      Slot::Lane& lane = slots_[starter.slot]->lanes[starter.lane];
+      if (!starter.corun) {
+        lane.last_chunk = starter.hit != nullptr ? *starter.hit : fresh[k];
+        if (config_.memo && starter.hit == nullptr) {
+          chunk_cache_.insert(starter.key, fresh[k]);
+        }
+      } else {
+        const CellWork& cell = cells[starter.cell];
+        const std::vector<ChunkResult>& results =
+            cell.hit != nullptr ? *cell.hit : cell.fresh;
+        lane.last_chunk = results[starter.member];
       }
-      slot.chunk_end_s = t + util::to_seconds(slot.last_chunk.elapsed);
-      slot.in_flight = true;
+      lane.chunk_end_s = t + util::to_seconds(lane.last_chunk.elapsed);
+      lane.in_flight = true;
+    }
+    if (config_.memo) {
+      for (CellWork& cell : cells) {
+        if (cell.hit == nullptr) {
+          chunk_cache_.insert_cell(cell.key, std::move(cell.fresh));
+        }
+      }
     }
 
     // --- stall guard: a wedged rack (every node lost) must terminate ---
-    const bool in_flight = !starters.empty() ||
-                           std::any_of(slots_.begin(), slots_.end(),
-                                       [](const auto& s) { return s->in_flight; });
+    const bool in_flight =
+        !starters.empty() ||
+        std::any_of(slots_.begin(), slots_.end(), [](const auto& s) {
+          return std::any_of(
+              s->lanes.begin(), s->lanes.end(),
+              [](const Slot::Lane& l) { return l.in_flight; });
+        });
     if (!in_flight && next_arrival >= stream.size()) {
       if (++stalled_rounds > 2) break;  // stranded jobs keep finish_s = -1
     } else {
@@ -435,7 +657,7 @@ ScheduleResult ClusterScheduler::run(const std::vector<JobSpec>& stream) {
   result.mean_turnaround_s =
       finished > 0 ? turnaround / static_cast<double>(finished) : 0.0;
   for (const auto& slot : slots_) {
-    if (slot->job < 0) {
+    if (!slot->occupied()) {
       result.idle_energy_j +=
           slot->idle_power_w * std::max(0.0, makespan - slot->idle_since_s);
     }

@@ -1,24 +1,31 @@
-// Amenability-aware cluster power scheduler (DESIGN.md §11).
+// Amenability-aware cluster power scheduler (DESIGN.md §11, §13).
 //
 // A rack of simulated nodes — each a full Node + BMC + IPMI endpoint,
 // optionally behind a lossy FaultyTransport — is managed by the existing
 // DataCenterManager. The scheduler admits a seeded job stream, places jobs
-// FIFO onto admitting idle nodes, and at every event (arrival, chunk
-// completion) asks its Policy how to split one group power budget into
-// per-node caps, which it pushes through the DCM/IPMI plane. Job execution
-// is real simulation: each chunk runs on the node under whatever cap the
-// BMC is enforcing, so slowdown under deep caps emerges from the throttle
-// ladder, never from an assumed model.
+// FIFO onto admitting idle LANES (lane-major: lane 0 of every node before
+// lane 1 of any, so one-lane racks reduce to the classic node-order fill),
+// and at every event (arrival, chunk completion) asks its Policy how to
+// split one group power budget into per-node caps — and, optionally, where
+// each queued job should go — which it pushes through the DCM/IPMI plane.
+// Job execution is real simulation: a solo chunk runs on a fresh Node
+// under whatever cap the BMC is enforcing, and co-resident chunks co-run
+// on a fresh SmpNode sharing L3/DRAM under the package-level cap, so
+// slowdown under deep caps AND under contention emerges from the modelled
+// hierarchy, never from an assumed interference model (DESIGN.md §13).
 //
-// Invariants (tests/test_scheduler.cpp):
+// Invariants (tests/test_scheduler.cpp, tests/test_cosched.cpp):
 //  * at every scheduler tick, the summed enforced/reserved node caps never
 //    exceed the group budget — including while links drop, duplicate and
 //    partition (caps are applied decreases-first, and increases are
 //    withheld until every decrease has landed);
 //  * a run is bit-identical for a given seed regardless of the `jobs`
-//    parallelism knob (worker threads only simulate independent nodes);
+//    parallelism knob (worker threads only simulate independent cells)
+//    and of the `memo` knob — at any lanes_per_node;
 //  * with the budget at/above the rack's uncapped draw, every policy
-//    degenerates to the identical unthrottled baseline schedule.
+//    degenerates to the identical unthrottled baseline schedule;
+//  * lanes_per_node = 1 reproduces the classic one-job-per-node scheduler
+//    bit-exactly.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +53,12 @@ namespace pcap::sched {
 
 struct SchedulerConfig {
   std::size_t node_count = 8;
+  /// Schedulable lanes (SmpNode cores) per node. 1 = the classic
+  /// one-job-per-node rack, bit-identical to the pre-lane scheduler.
+  /// Lanes share the node's L3/DRAM and its package-level cap.
+  std::size_t lanes_per_node = 1;
+  /// Simulated-time interleave quantum for co-run cells (SmpNode).
+  util::Picoseconds corun_quantum = util::microseconds(5);
   /// Group power budget (W). Must cover node_count * bmc.min_cap_w.
   double budget_w = 1360.0;
   /// One of policy_names(); ignored when `policy` is set explicitly.
@@ -108,6 +121,8 @@ struct ScheduleResult {
   std::uint64_t chunks = 0;
   std::uint64_t memo_hits = 0;    // chunks replayed from the memo cache
   std::uint64_t memo_misses = 0;  // chunks simulated (and recorded)
+  std::uint64_t corun_chunks = 0;  // chunks that ran with >=1 co-resident
+  std::uint64_t corun_cells = 0;   // distinct co-run cells simulated
   double max_cap_sum_w = 0.0;
 
   // Management-plane cost (summed over nodes).

@@ -395,17 +395,28 @@ SmpRunReport SmpNode::finish_run(std::span<Workload* const> workloads,
     report.avg_frequency =
         static_cast<util::Hertz>(freq_time_integral_ / elapsed_s);
   }
+  double busy_s_total = 0.0;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const Lane& lane = *lanes_[i];
     SmpCoreReport core_report;
     core_report.workload = workloads[i]->name();
     core_report.elapsed = lane.core->now() - lane.start_time;
+    busy_s_total += util::to_seconds(core_report.elapsed);
     const auto after = lane.bank.snapshot();
     for (std::size_t e = 0; e < pmu::kEventCount; ++e) {
       core_report.counters[e] = after[e] - lane.start_counters[e];
       report.counters[e] += core_report.counters[e];
     }
     report.cores.push_back(std::move(core_report));
+  }
+  // Package energy attributed per core by busy time (there is no per-core
+  // meter on this platform); shares sum to the metered total.
+  for (SmpCoreReport& core_report : report.cores) {
+    core_report.energy_share_j =
+        busy_s_total > 0.0
+            ? report.energy_j *
+                  (util::to_seconds(core_report.elapsed) / busy_s_total)
+            : 0.0;
   }
   return report;
 }

@@ -85,6 +85,11 @@ struct SmpConfig {
 struct SmpCoreReport {
   std::string workload;
   util::Picoseconds elapsed = 0;
+  /// This core's slice of the package energy, attributed by busy time
+  /// (power metering is package-level, so an exact per-core split does not
+  /// exist on this platform — same limitation as the paper's wall meter).
+  /// The shares of all cores sum to SmpRunReport::energy_j.
+  double energy_share_j = 0.0;
   std::array<std::uint64_t, pmu::kEventCount> counters{};
 
   std::uint64_t counter(pmu::Event e) const {

@@ -1,0 +1,433 @@
+// Per-lane co-scheduling on SMP nodes (DESIGN.md §13): the invariants the
+// lane-aware scheduler adds on top of test_scheduler.cpp.
+//  * lanes_per_node = 1 — and a two-lane rack with no queue pressure —
+//    reproduce the classic one-job-per-node schedule;
+//  * co-scheduled runs are bit-identical across the `jobs` parallelism
+//    knob and the `memo` knob, and co-run cells genuinely replay;
+//  * a co-run cell is a pure function of its key, and contention inside a
+//    cell is emergent (a cache-resident chunk really runs slower next to a
+//    streaming thrasher) — never assumed;
+//  * the budget invariant holds with lossy links while lanes co-run;
+//  * deadline semantics: feasible deadlines are met, impossible deadlines
+//    miss deterministically, and the deadline policy degenerates to the
+//    uniform baseline on a deadline-free stream;
+//  * every shipped policy either consumes deadline_s
+//    (consumes_deadlines() == true) or provably ignores it: its plan is
+//    invariant under stripping every deadline from the input.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/amenability_table.hpp"
+#include "sched/arrivals.hpp"
+#include "sched/chunk_cache.hpp"
+#include "sched/job.hpp"
+#include "sched/policy.hpp"
+#include "sched/power_model.hpp"
+#include "sched/scheduler.hpp"
+#include "util/units.hpp"
+
+namespace pcap::sched {
+namespace {
+
+AmenabilityTable synthetic_table() {
+  AmenabilityTable table;
+  const double steep[] = {10.5, 11.4, 3.0, 16.7};
+  for (int c = 0; c < kJobClassCount; ++c) {
+    ClassCurve curve;
+    curve.cls = static_cast<JobClass>(c);
+    curve.baseline_power_w = 155.0;
+    curve.baseline_time_s = 450e-6;
+    curve.usable_floor_w = 135.0;
+    for (const double cap : {115.0, 125.0, 135.0, 150.0}) {
+      core::AmenabilityPoint p;
+      p.cap_w = cap;
+      p.measured_power_w = std::min(cap, 155.0);
+      const double depth = std::max(0.0, 135.0 - cap) / 15.0;
+      p.slowdown = 1.0 + (steep[c] - 1.0) * depth;
+      p.energy_ratio = p.slowdown * p.measured_power_w / 155.0;
+      curve.points.push_back(p);
+    }
+    table.set_curve(curve);
+  }
+  return table;
+}
+
+std::vector<JobSpec> mixed_stream(int jobs, double deadline_fraction = 0.0,
+                                  double deadline_factor = 2.0) {
+  ArrivalConfig config;
+  config.job_count = jobs;
+  config.min_chunks = 2;
+  config.max_chunks = 4;
+  config.class_weights = {1.0, 1.0, 0.0, 0.0};  // stereo + SIRE mix
+  config.deadline_fraction = deadline_fraction;
+  config.deadline_factor = deadline_factor;
+  config.seed = 17;
+  return generate_stream(config);
+}
+
+SchedulerConfig lane_config(const AmenabilityTable* table, double budget_w,
+                            const std::string& policy,
+                            std::size_t lanes_per_node) {
+  SchedulerConfig config;
+  config.node_count = 3;
+  config.lanes_per_node = lanes_per_node;
+  config.budget_w = budget_w;
+  config.policy_name = policy;
+  config.seed = 17;
+  config.table = table;
+  return config;
+}
+
+void expect_results_identical(const ScheduleResult& a,
+                              const ScheduleResult& b) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].node, b.jobs[i].node) << "job " << i;
+    EXPECT_EQ(a.jobs[i].lane, b.jobs[i].lane) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.jobs[i].start_s, b.jobs[i].start_s) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish_s, b.jobs[i].finish_s) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.jobs[i].energy_j, b.jobs[i].energy_j) << "job " << i;
+    EXPECT_EQ(a.jobs[i].corun_chunks, b.jobs[i].corun_chunks) << "job " << i;
+    EXPECT_EQ(a.jobs[i].missed_deadline, b.jobs[i].missed_deadline);
+  }
+  ASSERT_EQ(a.ticks.size(), b.ticks.size());
+  for (std::size_t i = 0; i < a.ticks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ticks[i].t_s, b.ticks[i].t_s) << "tick " << i;
+    EXPECT_DOUBLE_EQ(a.ticks[i].cap_sum_w, b.ticks[i].cap_sum_w);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.chunks, b.chunks);
+  EXPECT_EQ(a.corun_chunks, b.corun_chunks);
+}
+
+void expect_all_done(const ScheduleResult& result, std::size_t jobs) {
+  ASSERT_EQ(result.jobs.size(), jobs);
+  for (const JobRecord& job : result.jobs) {
+    EXPECT_TRUE(job.done()) << "job " << job.spec.id;
+    EXPECT_GE(job.node, 0);
+  }
+}
+
+void expect_budget_invariant(const ScheduleResult& result) {
+  EXPECT_EQ(result.budget_violations, 0u);
+  ASSERT_FALSE(result.ticks.empty());
+  for (const TickRecord& tick : result.ticks) {
+    EXPECT_LE(tick.cap_sum_w, result.budget_w + 1e-3)
+        << "tick at t=" << tick.t_s;
+  }
+}
+
+// --- lane semantics -------------------------------------------------------
+
+TEST(CoSchedTest, SecondLaneIsInertWithoutQueuePressure) {
+  // Three jobs on three nodes: the lane-major fill never reaches lane 1,
+  // so a two-lane rack must reproduce the one-lane schedule bit-exactly.
+  const AmenabilityTable table = synthetic_table();
+  const auto stream = mixed_stream(3);
+  const ScheduleResult one =
+      ClusterScheduler(lane_config(&table, 450.0, "amenability", 1))
+          .run(stream);
+  const ScheduleResult two =
+      ClusterScheduler(lane_config(&table, 450.0, "amenability", 2))
+          .run(stream);
+  expect_all_done(one, stream.size());
+  expect_results_identical(one, two);
+  EXPECT_EQ(two.corun_chunks, 0u);
+  EXPECT_EQ(two.corun_cells, 0u);
+}
+
+TEST(CoSchedTest, CoScheduledRunIsBitIdenticalAcrossJobsAndMemo) {
+  // Nine jobs on three two-lane nodes: the queue forces co-residency.
+  const AmenabilityTable table = synthetic_table();
+  const auto stream = mixed_stream(9);
+
+  SchedulerConfig base = lane_config(&table, 520.0, "contention", 2);
+  base.jobs = 1;
+  SchedulerConfig threaded = base;
+  threaded.jobs = 4;
+  SchedulerConfig no_memo = base;
+  no_memo.memo = false;
+
+  const ScheduleResult a = ClusterScheduler(base).run(stream);
+  const ScheduleResult b = ClusterScheduler(threaded).run(stream);
+  const ScheduleResult c = ClusterScheduler(no_memo).run(stream);
+  expect_all_done(a, stream.size());
+  expect_budget_invariant(a);
+  expect_results_identical(a, b);
+  expect_results_identical(a, c);
+
+  // The schedule genuinely co-ran chunks, and the memo replayed cells.
+  EXPECT_GT(a.corun_chunks, 0u);
+  EXPECT_GT(a.corun_cells, 0u);
+  EXPECT_GT(a.memo_hits, 0u);
+  EXPECT_EQ(a.memo_hits + a.memo_misses, a.chunks);
+  EXPECT_EQ(c.memo_hits, 0u);
+  // Without the memo every distinct cell re-simulates, but within-round
+  // deduplication keeps the schedule identical.
+  EXPECT_GE(c.corun_cells, a.corun_cells);
+}
+
+TEST(CoSchedTest, BudgetInvariantHoldsUnderFaultsWhileCoRunning) {
+  const AmenabilityTable table = synthetic_table();
+  const auto stream = mixed_stream(8);
+  SchedulerConfig config = lane_config(&table, 480.0, "contention", 2);
+  ipmi::FaultSpec faults;
+  faults.drop_rate = 0.10;
+  faults.duplicate_rate = 0.05;
+  faults.corrupt_rate = 0.05;
+  config.faults = faults;
+
+  ClusterScheduler scheduler(config);
+  ASSERT_NE(scheduler.fault_link(1), nullptr);
+  scheduler.fault_link(1)->partition_for(60);
+
+  const ScheduleResult result = scheduler.run(stream);
+  expect_all_done(result, stream.size());
+  expect_budget_invariant(result);
+  EXPECT_GT(result.corun_chunks, 0u);
+  EXPECT_GT(result.mgmt_retries + result.mgmt_failed_exchanges, 0u);
+}
+
+// --- the co-run cell ------------------------------------------------------
+
+TEST(CoSchedTest, CoRunCellIsPureAndContentionIsEmergent) {
+  const sim::MachineConfig machine = sim::MachineConfig::romley();
+  const core::BmcConfig bmc;
+  const util::Picoseconds quantum = util::microseconds(5);
+
+  CoRunKey key;
+  key.cap_bits = ChunkKey::encode_cap(std::nullopt);
+  CoRunMember stereo;
+  stereo.cls = JobClass::kStereoLike;
+  stereo.identity = chunk_identity(JobClass::kStereoLike, 3, 0);
+  stereo.seed = 3;
+  CoRunMember sire;
+  sire.cls = JobClass::kSireLike;
+  sire.identity = chunk_identity(JobClass::kSireLike, 4, 0);
+  sire.seed = 4;
+  key.members = {sire, stereo};  // key_less order: kSireLike < kStereoLike
+  ASSERT_TRUE(key_less(key.members[0], key.members[1]));
+
+  // Pure function of the key: member rebuild material with the same
+  // (cls, identity) must not matter, and repeats are bit-identical.
+  const auto a = simulate_corun_cell(machine, bmc, key, 17, quantum);
+  CoRunKey same = key;
+  same.members[0].seed = 99;       // same identity, different seed
+  same.members[0].chunk_index = 7;
+  ASSERT_TRUE(key == same);
+  const auto b = simulate_corun_cell(machine, bmc, same, 17, quantum);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].elapsed, b[i].elapsed);
+    EXPECT_EQ(a[i].energy_j, b[i].energy_j);
+  }
+
+  // Emergent contention: the chunks are individually small enough that the
+  // 20 MB shared L3 absorbs both footprints, so UNCAPPED co-residency is
+  // nearly free — but under a package cap at the knee the BMC sees the
+  // SUMMED draw of both residents and throttles the shared package deeper
+  // than it would for either alone. Next to the streaming SIRE chunk the
+  // stereo chunk must therefore run far slower than its own solo time at
+  // the *same* enforced cap. No interference factor is applied anywhere:
+  // the slowdown falls out of the modelled throttle ladder.
+  constexpr double kKneeCapW = 135.0;
+  CoRunKey knee = key;
+  knee.cap_bits = ChunkKey::encode_cap(kKneeCapW);
+  const auto k135 = simulate_corun_cell(machine, bmc, knee, 17, quantum);
+  ChunkKey solo_stereo;
+  solo_stereo.cls = JobClass::kStereoLike;
+  solo_stereo.identity = stereo.identity;
+  solo_stereo.cap_bits = knee.cap_bits;
+  const ChunkResult solo =
+      simulate_chunk(machine, bmc, solo_stereo, 3, 0, 17);
+  EXPECT_GT(k135[1].elapsed, solo.elapsed + solo.elapsed / 2)
+      << "co-run at the knee cap should cost the stereo chunk >1.5x solo";
+
+  // Per-member energy shares are the busy-time attribution of one package
+  // meter: positive, and their sum is the cell's package energy (checked
+  // loosely — the report's total is not returned here, but shares must at
+  // least exceed each member's share of nothing).
+  EXPECT_GT(a[0].energy_j, 0.0);
+  EXPECT_GT(a[1].energy_j, 0.0);
+
+  // The cap is part of the key: a deep cap changes the cell.
+  CoRunKey capped = key;
+  capped.cap_bits = ChunkKey::encode_cap(120.0);
+  EXPECT_FALSE(key == capped);
+  const auto c = simulate_corun_cell(machine, bmc, capped, 17, quantum);
+  EXPECT_GT(c[0].elapsed, a[0].elapsed);
+  EXPECT_GT(c[1].elapsed, a[1].elapsed);
+}
+
+// --- deadline semantics ---------------------------------------------------
+
+TEST(CoSchedTest, FeasibleDeadlinesAreMetByTheDeadlinePolicy) {
+  const AmenabilityTable table = synthetic_table();
+  // Every job carries a deadline 200x its uncapped duration: feasible even
+  // while queueing, so the deadline policy must not miss any.
+  const auto stream = mixed_stream(8, 1.0, 200.0);
+  const ScheduleResult result =
+      ClusterScheduler(lane_config(&table, 480.0, "deadline", 2))
+          .run(stream);
+  expect_all_done(result, stream.size());
+  expect_budget_invariant(result);
+  EXPECT_EQ(result.deadline_misses, 0);
+}
+
+TEST(CoSchedTest, ImpossibleDeadlinesMissDeterministically) {
+  const AmenabilityTable table = synthetic_table();
+  // Deadlines at 5% of an uncapped chunk's duration cannot be met by any
+  // schedule; the misses must be total and reproducible.
+  const auto stream = mixed_stream(6, 1.0, 0.05);
+  const ScheduleResult a =
+      ClusterScheduler(lane_config(&table, 480.0, "deadline", 2))
+          .run(stream);
+  const ScheduleResult b =
+      ClusterScheduler(lane_config(&table, 480.0, "deadline", 2))
+          .run(stream);
+  expect_all_done(a, stream.size());
+  EXPECT_EQ(a.deadline_misses, static_cast<int>(stream.size()));
+  for (const JobRecord& job : a.jobs) {
+    EXPECT_TRUE(job.missed_deadline);
+  }
+  expect_results_identical(a, b);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+}
+
+TEST(CoSchedTest, DeadlinePolicyDegeneratesToUniformWithoutDeadlines) {
+  const AmenabilityTable table = synthetic_table();
+  const auto stream = mixed_stream(8);  // no deadlines anywhere
+  const ScheduleResult uniform =
+      ClusterScheduler(lane_config(&table, 480.0, "uniform", 2))
+          .run(stream);
+  const ScheduleResult deadline =
+      ClusterScheduler(lane_config(&table, 480.0, "deadline", 2))
+          .run(stream);
+  expect_all_done(uniform, stream.size());
+  expect_results_identical(uniform, deadline);
+}
+
+// --- the deadline contract across every shipped policy --------------------
+
+PlanInput deadline_rich_input(const AmenabilityTable* table,
+                              const OnlinePowerModel* model) {
+  PlanInput input;
+  input.budget_w = 700.0;
+  input.now_s = 2e-3;
+  input.lanes_per_node = 2;
+  input.table = table;
+  input.model = model;
+  for (std::size_t i = 0; i < 4; ++i) {
+    NodeView view;
+    view.index = i;
+    view.applied_cap_w = 130.0;
+    for (std::size_t l = 0; l < 2; ++l) {
+      LaneView lane;
+      lane.lane = l;
+      lane.busy = (i + l) % 2 == 0;
+      if (lane.busy) {
+        lane.cls = static_cast<JobClass>((i + l) % kJobClassCount);
+        lane.remaining_chunks = static_cast<int>(1 + i);
+        lane.deadline_s = 1e-3 * static_cast<double>(i + 1);
+        if (!view.busy) {
+          view.busy = true;
+          view.cls = lane.cls;
+        }
+        view.remaining_chunks =
+            std::max(view.remaining_chunks, lane.remaining_chunks);
+        if (!view.deadline_s || *lane.deadline_s < *view.deadline_s) {
+          view.deadline_s = lane.deadline_s;
+        }
+      }
+      view.lanes.push_back(lane);
+    }
+    input.nodes.push_back(view);
+  }
+  // Deliberately NOT earliest-deadline-first: the second queued job holds
+  // the tightest (already-missed) deadline, so a deadline-aware planner
+  // must reorder the queue while a deadline-blind one keeps FIFO.
+  input.queued.push_back({JobClass::kStereoLike, 4, 4e-3});
+  input.queued.push_back({JobClass::kSireLike, 3, 5e-4});
+  input.queued.push_back({JobClass::kPhased, 2, std::nullopt});
+  return input;
+}
+
+PlanInput strip_deadlines(PlanInput input) {
+  for (NodeView& node : input.nodes) {
+    node.deadline_s.reset();
+    for (LaneView& lane : node.lanes) lane.deadline_s.reset();
+  }
+  for (PlanInput::QueuedJob& job : input.queued) job.deadline_s.reset();
+  return input;
+}
+
+void expect_plans_equal(const Plan& a, const Plan& b,
+                        const std::string& name) {
+  ASSERT_EQ(a.cap_w.size(), b.cap_w.size()) << name;
+  for (std::size_t i = 0; i < a.cap_w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cap_w[i], b.cap_w[i]) << name << " node " << i;
+    EXPECT_EQ(a.admit[i], b.admit[i]) << name << " node " << i;
+  }
+  EXPECT_EQ(a.placement, b.placement) << name;
+}
+
+TEST(CoSchedTest, EveryPolicyConsumesDeadlinesOrProvablyIgnoresThem) {
+  const AmenabilityTable table = synthetic_table();
+  OnlinePowerModel model;
+  model.set_table(&table);
+  const PlanInput with = deadline_rich_input(&table, &model);
+  const PlanInput without = strip_deadlines(with);
+
+  bool any_consumer = false;
+  for (const std::string& name : policy_names()) {
+    auto policy = make_policy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    if (policy->consumes_deadlines()) {
+      // The consumer must actually read them: documented as the deadline
+      // policy's whole point, and pinned here so a future policy cannot
+      // claim consumption while ignoring the field.
+      any_consumer = true;
+      EXPECT_EQ(name, "deadline");
+      continue;
+    }
+    // Non-consumers must plan identically with and without deadlines —
+    // "ignoring deadline_s" is a mechanical property, not a comment.
+    auto fresh = make_policy(name);
+    expect_plans_equal(policy->plan(with), fresh->plan(without), name);
+  }
+  EXPECT_TRUE(any_consumer);
+}
+
+TEST(CoSchedTest, DeadlinePolicyActuallyConsumesDeadlines) {
+  const AmenabilityTable table = synthetic_table();
+  OnlinePowerModel model;
+  model.set_table(&table);
+  auto policy = make_policy("deadline");
+  ASSERT_TRUE(policy->consumes_deadlines());
+
+  // With deadlines the urgency fill and/or EDF placement must deviate
+  // somewhere across budgets; identical plans everywhere would mean the
+  // field is dead weight.
+  bool any_difference = false;
+  for (const double budget : {560.0, 700.0, 900.0}) {
+    PlanInput with = deadline_rich_input(&table, &model);
+    with.budget_w = budget;
+    const PlanInput without = strip_deadlines(with);
+    const Plan a = make_policy("deadline")->plan(with);
+    const Plan b = make_policy("deadline")->plan(without);
+    if (a.cap_w != b.cap_w || a.placement != b.placement) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace pcap::sched

@@ -36,6 +36,15 @@ GUARDED = [
     "BM_ContextRmw",
 ]
 
+# Cases guarded at a per-case tight threshold, ratcheted below the global
+# one. BM_SchedRunLane1 is the whole scheduler event loop on a classic
+# one-lane rack: its baseline was recorded before the per-lane
+# co-scheduling machinery landed, so the 5% ratchet pins the promise that
+# schedules which never co-run do not pay for the lane/cell plumbing.
+TIGHT_GUARDED = [
+    ("BM_SchedRunLane1", 0.05),
+]
+
 # Stream cases whose baseline entries are per-access loops: the batched
 # implementation must hold this minimum speedup (normalised) over them.
 MIN_SPEEDUP = 2.5
@@ -117,6 +126,21 @@ def main():
             failed = True
         print(f"  {case}: {base[case]:.1f} -> {now[case]:.1f} ns, "
               f"normalised {rel:.2f}x  {verdict}")
+
+    for case, threshold in TIGHT_GUARDED:
+        if case not in base or case not in now:
+            print(f"error: case {case} missing "
+                  f"({'baseline' if case not in base else 'current'})")
+            failed = True
+            continue
+        rel = (now[case] / now[CALIBRATION]) / (base[case] / base[CALIBRATION])
+        verdict = "ok"
+        if rel > 1.0 + threshold:
+            verdict = f"REGRESSION (>{threshold:.0%})"
+            failed = True
+        print(f"  {case}: {base[case]:.1f} -> {now[case]:.1f} ns, "
+              f"normalised {rel:.2f}x (limit {1.0 + threshold:.2f}x)  "
+              f"{verdict}")
 
     for case in SPEEDUP_CASES:
         if case not in base or case not in now:
