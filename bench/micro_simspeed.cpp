@@ -10,6 +10,7 @@
 #include "cache/cache.hpp"
 #include "cache/tlb.hpp"
 #include "core/bmc.hpp"
+#include "fleet/datacenter.hpp"
 #include "mem/dram.hpp"
 #include "power/model.hpp"
 #include "sched/arrivals.hpp"
@@ -424,6 +425,37 @@ void BM_SchedRunLane2(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchedRunLane2);
+
+// One datacenter control tick over an idle 1024-node fleet (32 racks x 32
+// nodes): the root coupler round, every rack rebalancing its nodes over
+// the loopback IPMI links, and the per-tick invariant accounting. This is
+// the fleet planner's fixed per-tick overhead, guarded by the ratchet in
+// tools/check_bench_regression.py.
+void BM_FleetPlan1k(benchmark::State& state) {
+  fleet::FleetConfig config;
+  config.rack_nodes.assign(32, 32);
+  config.seed = 3;
+  fleet::DatacenterManager dc(config);
+  for (auto _ : state) {
+    dc.step();
+    benchmark::DoNotOptimize(dc.now_s());
+  }
+}
+BENCHMARK(BM_FleetPlan1k);
+
+// 10k-node smoke (100 x 100): tracked for visibility, not ratcheted — it
+// prices the same per-tick loop at ten times the fan-out.
+void BM_FleetPlan10k(benchmark::State& state) {
+  fleet::FleetConfig config;
+  config.rack_nodes.assign(100, 100);
+  config.seed = 3;
+  fleet::DatacenterManager dc(config);
+  for (auto _ : state) {
+    dc.step();
+    benchmark::DoNotOptimize(dc.now_s());
+  }
+}
+BENCHMARK(BM_FleetPlan10k)->MinTime(0.5);
 
 void BM_BmcControlTick(benchmark::State& state) {
   sim::Node node(sim::MachineConfig::romley());

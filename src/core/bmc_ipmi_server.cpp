@@ -42,6 +42,13 @@ ipmi::Response BmcIpmiServer::handle(const ipmi::Request& request) {
 
     case Command::kGetThrottleStatus:
       return ipmi::encode_throttle_status(bmc_->throttle_status());
+
+    // Budget-tree commands are served by BudgetEndpointServer, never by a
+    // node BMC.
+    case Command::kSetRackBudget:
+    case Command::kGetRackStatus:
+    case Command::kGetRackTelemetry:
+      break;
   }
   return ipmi::make_error_response(CompletionCode::kInvalidCommand);
 }

@@ -1,0 +1,69 @@
+// Budget arithmetic for the fleet tree: time-of-day / demand-response
+// budget schedules and the deterministic floor+weighted-surplus division a
+// parent applies to its children (DESIGN.md §14).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pcap::fleet {
+
+/// Floors a watt value onto an `grid_w` grid (0 → the 0.1 W IPMI wire
+/// grid). Division results always round *down* so quantization can never
+/// push a sum over budget.
+double quantize_watts(double watts, double grid_w);
+
+/// Step schedule for the fleet budget: ordered phases (optionally periodic,
+/// modeling time-of-day), overlaid with absolute-time demand-response
+/// events that override the schedule while active. Lookup is pure —
+/// `at(t)` has no state — so every tick, jobs count, and memo knob sees
+/// the identical budget trajectory.
+class BudgetSchedule {
+ public:
+  BudgetSchedule() = default;
+  explicit BudgetSchedule(double constant_w) : base_w_(constant_w) {}
+
+  /// Phase starting at `start_s` within the period (or absolute time when
+  /// no period is set). Phases must be appended in increasing start order.
+  void add_phase(double start_s, double budget_w);
+
+  /// Makes the phase table repeat every `period_s` (time-of-day shape).
+  void set_period(double period_s) { period_s_ = period_s; }
+
+  /// Demand-response override: budget forced to `budget_w` on absolute
+  /// time [start_s, end_s). Later events win where they overlap.
+  void add_event(double start_s, double end_s, double budget_w);
+
+  double at(double t_s) const;
+
+ private:
+  struct Phase {
+    double start_s;
+    double budget_w;
+  };
+  struct Event {
+    double start_s;
+    double end_s;
+    double budget_w;
+  };
+  double base_w_ = 0.0;  // used before the first phase starts
+  double period_s_ = 0.0;
+  std::vector<Phase> phases_;
+  std::vector<Event> events_;
+};
+
+/// Divides `budget_w` across children: every child gets its floor, the
+/// surplus splits in proportion to `weights`, each share clamps to the
+/// child's ceiling, and the part above the floor rounds down onto the
+/// `grid_w` grid (coarse grids keep the set of distinct child budgets — and
+/// hence distinct chunk-memo keys — small at fleet scale). Returns one
+/// budget per child with sum(result) <= budget_w, or an empty vector when
+/// the division is infeasible (budget below the floor sum): infeasible
+/// divisions are rejected whole, never partially applied.
+std::vector<double> divide_budget(double budget_w,
+                                  const std::vector<double>& floors,
+                                  const std::vector<double>& weights,
+                                  const std::vector<double>& ceilings,
+                                  double grid_w = 0.0);
+
+}  // namespace pcap::fleet

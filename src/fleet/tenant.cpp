@@ -1,0 +1,35 @@
+#include "fleet/tenant.hpp"
+
+#include <algorithm>
+
+namespace pcap::fleet {
+
+std::vector<FleetJob> generate_tenant_streams(
+    const std::vector<TenantSpec>& tenants) {
+  std::vector<FleetJob> merged;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const std::vector<sched::JobSpec> stream =
+        sched::generate_stream(tenants[t].arrivals);
+    merged.reserve(merged.size() + stream.size());
+    for (const sched::JobSpec& spec : stream) {
+      FleetJob job;
+      job.tenant = static_cast<int>(t);
+      job.spec = spec;
+      merged.push_back(job);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const FleetJob& a, const FleetJob& b) {
+                     if (a.spec.arrival_s != b.spec.arrival_s) {
+                       return a.spec.arrival_s < b.spec.arrival_s;
+                     }
+                     if (a.tenant != b.tenant) return a.tenant < b.tenant;
+                     return a.spec.id < b.spec.id;
+                   });
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    merged[i].id = static_cast<int>(i);
+  }
+  return merged;
+}
+
+}  // namespace pcap::fleet

@@ -1,0 +1,52 @@
+// Multi-tenant arrival streams for the fleet: each tenant owns a seeded
+// sched::ArrivalConfig and a fairness weight. Streams are generated
+// independently per tenant (so adding a tenant never perturbs another's
+// stream) and merged into one arrival-ordered sequence; admission shares
+// shrink-proportionally to the weights via deficit round-robin when the
+// global budget tightens (DESIGN.md §14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/arrivals.hpp"
+#include "sched/job.hpp"
+
+namespace pcap::fleet {
+
+struct TenantSpec {
+  std::string name = "tenant";
+  double weight = 1.0;  // relative admission share under contention
+  sched::ArrivalConfig arrivals;
+};
+
+/// One job of the merged fleet stream. `id` is the fleet-wide index in
+/// arrival order; the tenant's own job id is preserved inside `spec`.
+struct FleetJob {
+  int id = 0;
+  int tenant = 0;
+  sched::JobSpec spec;
+};
+
+/// Per-tenant outcome aggregates, filled by the datacenter run.
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;
+  int jobs = 0;
+  int admitted = 0;
+  int completed = 0;
+  std::uint64_t chunks = 0;
+  double mean_wait_s = 0.0;        // arrival -> admission
+  double mean_turnaround_s = 0.0;  // arrival -> finish (completed jobs)
+  double energy_j = 0.0;
+  double admitted_share = 0.0;     // fraction of all admissions
+};
+
+/// Generates every tenant's stream and merges by arrival time (ties by
+/// tenant index then per-tenant id), assigning fleet-wide ids in merge
+/// order.
+std::vector<FleetJob> generate_tenant_streams(
+    const std::vector<TenantSpec>& tenants);
+
+}  // namespace pcap::fleet

@@ -76,6 +76,18 @@ const std::vector<OptionSpec>& option_table() {
        [](CliOptions& o, std::string_view v) {
          o.lanes = static_cast<std::size_t>(to_int(v));
        }},
+      {"--racks", "N", "racks in the fleet (fleet binaries)",
+       [](CliOptions& o, std::string_view v) {
+         o.racks = static_cast<std::size_t>(to_int(v));
+       }},
+      {"--rack-nodes", "N", "nodes per rack (fleet binaries)",
+       [](CliOptions& o, std::string_view v) {
+         o.rack_nodes = static_cast<std::size_t>(to_int(v));
+       }},
+      {"--tenants", "N", "tenant arrival streams (fleet binaries)",
+       [](CliOptions& o, std::string_view v) {
+         o.tenants = static_cast<std::size_t>(to_int(v));
+       }},
   };
   return table;
 }

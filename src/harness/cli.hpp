@@ -11,6 +11,9 @@
 //   --policy=NAME          scheduler policy (sched binaries; "" = sweep all)
 //   --budget=W             group power budget in watts (sched binaries)
 //   --arrivals=N           job-stream length (sched binaries)
+//   --racks=N              racks in the fleet (fleet binaries)
+//   --rack-nodes=N         nodes per rack (fleet binaries)
+//   --tenants=N            tenant arrival streams (fleet binaries)
 //
 // Parsing is table-driven: each flag is one OptionSpec row (name, value
 // placeholder, help, setter) and the --help text is generated from the same
@@ -39,6 +42,9 @@ struct CliOptions {
   double budget_w = 0.0;             // 0: binary default
   int arrivals = 0;                  // 0: binary default
   std::size_t lanes = 0;             // 0: binary default (sched binaries)
+  std::size_t racks = 0;             // 0: binary default (fleet binaries)
+  std::size_t rack_nodes = 0;        // 0: binary default (fleet binaries)
+  std::size_t tenants = 0;           // 0: binary default (fleet binaries)
 
   /// Effective repetitions: explicit --reps wins, else full ? 5 : quick_reps.
   int repetitions(int quick_reps) const {

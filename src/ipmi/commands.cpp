@@ -14,6 +14,15 @@ double watts_from_wire(std::uint16_t wire) {
   return static_cast<double>(wire) / 10.0;
 }
 
+std::uint32_t watts32_to_wire(double watts) {
+  const double clamped = std::clamp(watts, 0.0, 429496729.5);
+  return static_cast<std::uint32_t>(std::llround(clamped * 10.0));
+}
+
+double watts32_from_wire(std::uint32_t wire) {
+  return static_cast<double>(wire) / 10.0;
+}
+
 namespace {
 
 Request make_plain(Command c) {
@@ -142,6 +151,105 @@ Response encode_throttle_status(const ThrottleStatus& v) {
   put_u8(r.payload, static_cast<std::uint8_t>((v.dram_gated ? 1 : 0) |
                                               (v.capping_active ? 2 : 0)));
   return r;
+}
+
+Request make_set_rack_budget(double target_w) {
+  Request r = make_plain(Command::kSetRackBudget);
+  put_u32(r.payload, watts32_to_wire(target_w));
+  return r;
+}
+
+std::optional<double> decode_set_rack_budget(const Request& r) {
+  PayloadReader reader(r.payload);
+  std::uint32_t watts = 0;
+  if (!reader.read_u32(watts) || !reader.exhausted()) return std::nullopt;
+  return watts32_from_wire(watts);
+}
+
+Response encode_rack_budget_grant(double grant_w) {
+  Response r = make_ok_response();
+  put_u32(r.payload, watts32_to_wire(grant_w));
+  return r;
+}
+
+std::optional<double> decode_rack_budget_grant(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  std::uint32_t watts = 0;
+  if (!reader.read_u32(watts) || !reader.exhausted()) return std::nullopt;
+  return watts32_from_wire(watts);
+}
+
+Request make_get_rack_status() { return make_plain(Command::kGetRackStatus); }
+
+Response encode_rack_status(const RackStatus& v) {
+  Response r = make_ok_response();
+  put_u32(r.payload, watts32_to_wire(v.enforced_w));
+  put_u32(r.payload, watts32_to_wire(v.committed_w));
+  put_u32(r.payload, watts32_to_wire(v.reserved_w));
+  put_u32(r.payload, watts32_to_wire(v.demand_w));
+  put_u32(r.payload, watts32_to_wire(v.floor_w));
+  put_u32(r.payload, watts32_to_wire(v.ceiling_w));
+  put_u16(r.payload, v.nodes);
+  put_u16(r.payload, v.lost_nodes);
+  put_u16(r.payload, v.busy_nodes);
+  put_u16(r.payload, v.free_lanes);
+  put_u16(r.payload, v.queued_jobs);
+  return r;
+}
+
+std::optional<RackStatus> decode_rack_status(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  std::uint32_t enforced = 0, committed = 0, reserved = 0, demand = 0;
+  std::uint32_t floor = 0, ceiling = 0;
+  RackStatus v;
+  if (!reader.read_u32(enforced) || !reader.read_u32(committed) ||
+      !reader.read_u32(reserved) || !reader.read_u32(demand) ||
+      !reader.read_u32(floor) || !reader.read_u32(ceiling) ||
+      !reader.read_u16(v.nodes) || !reader.read_u16(v.lost_nodes) ||
+      !reader.read_u16(v.busy_nodes) || !reader.read_u16(v.free_lanes) ||
+      !reader.read_u16(v.queued_jobs) || !reader.exhausted()) {
+    return std::nullopt;
+  }
+  v.enforced_w = watts32_from_wire(enforced);
+  v.committed_w = watts32_from_wire(committed);
+  v.reserved_w = watts32_from_wire(reserved);
+  v.demand_w = watts32_from_wire(demand);
+  v.floor_w = watts32_from_wire(floor);
+  v.ceiling_w = watts32_from_wire(ceiling);
+  return v;
+}
+
+Request make_get_rack_telemetry() {
+  return make_plain(Command::kGetRackTelemetry);
+}
+
+Response encode_rack_telemetry(const RackTelemetry& v) {
+  Response r = make_ok_response();
+  put_u16(r.payload, v.nodes);
+  put_u32(r.payload, watts32_to_wire(v.min_w));
+  put_u32(r.payload, watts32_to_wire(v.mean_w));
+  put_u32(r.payload, watts32_to_wire(v.max_w));
+  put_u32(r.payload, watts32_to_wire(v.sum_w));
+  return r;
+}
+
+std::optional<RackTelemetry> decode_rack_telemetry(const Response& r) {
+  if (!r.ok()) return std::nullopt;
+  PayloadReader reader(r.payload);
+  RackTelemetry v;
+  std::uint32_t mn = 0, mean = 0, mx = 0, sum = 0;
+  if (!reader.read_u16(v.nodes) || !reader.read_u32(mn) ||
+      !reader.read_u32(mean) || !reader.read_u32(mx) || !reader.read_u32(sum) ||
+      !reader.exhausted()) {
+    return std::nullopt;
+  }
+  v.min_w = watts32_from_wire(mn);
+  v.mean_w = watts32_from_wire(mean);
+  v.max_w = watts32_from_wire(mx);
+  v.sum_w = watts32_from_wire(sum);
+  return v;
 }
 
 std::optional<ThrottleStatus> decode_throttle_status(const Response& r) {

@@ -17,6 +17,13 @@ enum class Command : std::uint8_t {
   kGetPowerLimit = 0xCA,
   kGetCapabilities = 0xCB,
   kGetThrottleStatus = 0xCC,  // vendor extension: escalation diagnostics
+  // Fleet extension: budget-tree commands spoken between a parent power
+  // manager and an aggregate child (rack manager, pod manager). Watts at
+  // this level exceed the u16 6553.5 W ceiling, so they travel as u32
+  // 0.1 W fixed point.
+  kSetRackBudget = 0xD0,
+  kGetRackStatus = 0xD1,
+  kGetRackTelemetry = 0xD2,
 };
 
 /// Human-readable command name for diagnostics and trace spans.
@@ -28,6 +35,9 @@ inline const char* command_name(std::uint8_t command) {
     case Command::kGetPowerLimit: return "GetPowerLimit";
     case Command::kGetCapabilities: return "GetCapabilities";
     case Command::kGetThrottleStatus: return "GetThrottleStatus";
+    case Command::kSetRackBudget: return "SetRackBudget";
+    case Command::kGetRackStatus: return "GetRackStatus";
+    case Command::kGetRackTelemetry: return "GetRackTelemetry";
   }
   return "Unknown";
 }
@@ -66,9 +76,41 @@ struct ThrottleStatus {
   bool capping_active = false;
 };
 
+/// One aggregate child of the budget tree as its parent sees it over the
+/// wire (response to kGetRackStatus). `enforced_w` is the budget the child
+/// currently guarantees its commitments stay within: on a decrease it stays
+/// at the old value until the child's own decreases-first rounds converge,
+/// then snaps to the target; increases are adopted immediately.
+struct RackStatus {
+  double enforced_w = 0.0;   // budget the child guarantees right now
+  double committed_w = 0.0;  // sum of grandchild grants incl. reservations
+  double reserved_w = 0.0;   // held for unreachable grandchildren
+  double demand_w = 0.0;     // current aggregate draw (division weight)
+  double floor_w = 0.0;      // lowest enforceable aggregate budget
+  double ceiling_w = 0.0;    // sum of grandchild cap ceilings
+  std::uint16_t nodes = 0;
+  std::uint16_t lost_nodes = 0;
+  std::uint16_t busy_nodes = 0;
+  std::uint16_t free_lanes = 0;
+  std::uint16_t queued_jobs = 0;
+};
+
+/// Windowed power summary for one aggregate child (kGetRackTelemetry):
+/// the Reducer fan-in's min/mean/max/sum shape, collapsed to "now".
+struct RackTelemetry {
+  std::uint16_t nodes = 0;
+  double min_w = 0.0;
+  double mean_w = 0.0;
+  double max_w = 0.0;
+  double sum_w = 0.0;
+};
+
 // --- fixed-point helpers ---
 std::uint16_t watts_to_wire(double watts);
 double watts_from_wire(std::uint16_t wire);
+// Wide variant for aggregate (rack/datacenter) budgets.
+std::uint32_t watts32_to_wire(double watts);
+double watts32_from_wire(std::uint32_t wire);
 
 // --- request builders (client side) ---
 Request make_get_device_id();
@@ -97,5 +139,21 @@ std::optional<Capabilities> decode_capabilities(const Response& r);
 
 Response encode_throttle_status(const ThrottleStatus& v);
 std::optional<ThrottleStatus> decode_throttle_status(const Response& r);
+
+// Budget-tree commands. SetRackBudget carries the target; the response
+// carries the *grant* — the budget the child actually guarantees after its
+// synchronous decreases-first round (== target once converged).
+Request make_set_rack_budget(double target_w);
+std::optional<double> decode_set_rack_budget(const Request& r);
+Response encode_rack_budget_grant(double grant_w);
+std::optional<double> decode_rack_budget_grant(const Response& r);
+
+Request make_get_rack_status();
+Response encode_rack_status(const RackStatus& v);
+std::optional<RackStatus> decode_rack_status(const Response& r);
+
+Request make_get_rack_telemetry();
+Response encode_rack_telemetry(const RackTelemetry& v);
+std::optional<RackTelemetry> decode_rack_telemetry(const Response& r);
 
 }  // namespace pcap::ipmi

@@ -338,6 +338,187 @@ TEST_F(HealthTest, GroupCapSkipsLostNodes) {
   EXPECT_LE(committed_budget_w(), kBudgetW + 1e-6);
 }
 
+// --- Seeded message-layer fuzz: round-trips for every command, bit
+// flips, truncations and random garbage. Parsing must never crash, and a
+// frame with any single corrupted byte must never decode. ---
+
+std::vector<ipmi::Request> fuzz_requests() {
+  ipmi::PowerLimit limit;
+  limit.enabled = true;
+  limit.limit_w = 215.5;
+  return {ipmi::make_get_device_id(),      ipmi::make_get_power_reading(),
+          ipmi::make_set_power_limit(limit), ipmi::make_get_power_limit(),
+          ipmi::make_get_capabilities(),   ipmi::make_get_throttle_status(),
+          ipmi::make_set_rack_budget(35700.3), ipmi::make_get_rack_status(),
+          ipmi::make_get_rack_telemetry()};
+}
+
+std::vector<ipmi::Response> fuzz_responses() {
+  ipmi::PowerLimit limit;
+  limit.enabled = true;
+  limit.limit_w = 180.0;
+  ipmi::RackStatus status;
+  status.enforced_w = 123456.7;
+  status.committed_w = 120000.2;
+  status.reserved_w = 350.0;
+  status.demand_w = 98765.4;
+  status.floor_w = 110000.0;
+  status.ceiling_w = 400000.0;
+  status.nodes = 1000;
+  status.lost_nodes = 31;
+  status.busy_nodes = 600;
+  status.free_lanes = 400;
+  status.queued_jobs = 12;
+  ipmi::RackTelemetry telemetry;
+  telemetry.nodes = 1000;
+  telemetry.min_w = 101.0;
+  telemetry.mean_w = 140.5;
+  telemetry.max_w = 399.9;
+  telemetry.sum_w = 140500.0;
+  return {ipmi::make_ok_response(),
+          ipmi::encode_device_id(ipmi::DeviceId{}),
+          ipmi::encode_power_reading(ipmi::PowerReading{}),
+          ipmi::encode_power_limit(limit),
+          ipmi::encode_capabilities(ipmi::Capabilities{}),
+          ipmi::encode_throttle_status(ipmi::ThrottleStatus{}),
+          ipmi::encode_rack_budget_grant(123456.7),
+          ipmi::encode_rack_status(status),
+          ipmi::encode_rack_telemetry(telemetry)};
+}
+
+/// Runs every typed decoder over a structurally valid message; none may
+/// crash, whatever the payload happens to contain.
+void poke_all_decoders(const ipmi::Request& request,
+                       const ipmi::Response& response) {
+  (void)ipmi::decode_set_power_limit(request);
+  (void)ipmi::decode_set_rack_budget(request);
+  (void)ipmi::decode_device_id(response);
+  (void)ipmi::decode_power_reading(response);
+  (void)ipmi::decode_power_limit(response);
+  (void)ipmi::decode_capabilities(response);
+  (void)ipmi::decode_throttle_status(response);
+  (void)ipmi::decode_rack_budget_grant(response);
+  (void)ipmi::decode_rack_status(response);
+  (void)ipmi::decode_rack_telemetry(response);
+}
+
+TEST(IpmiFuzz, EveryCommandRoundTrips) {
+  for (const ipmi::Request& request : fuzz_requests()) {
+    const std::vector<std::uint8_t> frame = ipmi::encode_request(request);
+    ipmi::Request out;
+    ASSERT_TRUE(ipmi::decode_request(frame, out));
+    EXPECT_EQ(out.netfn, request.netfn);
+    EXPECT_EQ(out.command, request.command);
+    EXPECT_EQ(out.seq, request.seq);
+    EXPECT_EQ(out.payload, request.payload);
+  }
+  for (const ipmi::Response& response : fuzz_responses()) {
+    const std::vector<std::uint8_t> frame = ipmi::encode_response(response);
+    ipmi::Response out;
+    ASSERT_TRUE(ipmi::decode_response(frame, out));
+    EXPECT_EQ(out.code, response.code);
+    EXPECT_EQ(out.payload, response.payload);
+  }
+  // Typed payloads survive the fixed-point wire format on the 0.1 W grid.
+  const auto budget =
+      ipmi::decode_set_rack_budget(ipmi::make_set_rack_budget(35700.3));
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_NEAR(*budget, 35700.3, 1e-6);
+  const auto grant = ipmi::decode_rack_budget_grant(
+      ipmi::encode_rack_budget_grant(123456.7));
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_NEAR(*grant, 123456.7, 1e-6);
+}
+
+TEST(IpmiFuzz, AnySingleByteFlipRejected) {
+  // The frame checksum is a two's-complement byte sum, so no single-byte
+  // change can go unnoticed (flipping the length bytes trips the length
+  // check first).
+  for (const ipmi::Request& request : fuzz_requests()) {
+    const std::vector<std::uint8_t> frame = ipmi::encode_request(request);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = frame;
+        mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+        ipmi::Request out;
+        EXPECT_FALSE(ipmi::decode_request(mutated, out))
+            << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+  for (const ipmi::Response& response : fuzz_responses()) {
+    const std::vector<std::uint8_t> frame = ipmi::encode_response(response);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = frame;
+        mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+        ipmi::Response out;
+        EXPECT_FALSE(ipmi::decode_response(mutated, out))
+            << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(IpmiFuzz, EveryTruncationRejected) {
+  for (const ipmi::Request& request : fuzz_requests()) {
+    const std::vector<std::uint8_t> frame = ipmi::encode_request(request);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      ipmi::Request out;
+      EXPECT_FALSE(ipmi::decode_request(
+          std::span<const std::uint8_t>(frame.data(), len), out))
+          << "prefix " << len;
+    }
+  }
+  for (const ipmi::Response& response : fuzz_responses()) {
+    const std::vector<std::uint8_t> frame = ipmi::encode_response(response);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      ipmi::Response out;
+      EXPECT_FALSE(ipmi::decode_response(
+          std::span<const std::uint8_t>(frame.data(), len), out))
+          << "prefix " << len;
+    }
+  }
+}
+
+TEST(IpmiFuzz, SeededGarbageAndMultiFlipsNeverCrash) {
+  util::Rng rng(0xF022);
+  // Pure garbage frames: decode must reject or produce a message the typed
+  // decoders handle without crashing.
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::vector<std::uint8_t> frame(rng.below(64));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.below(256));
+    ipmi::Request request;
+    ipmi::Response response;
+    const bool req_ok = ipmi::decode_request(frame, request);
+    const bool resp_ok = ipmi::decode_response(frame, response);
+    poke_all_decoders(req_ok ? request : ipmi::Request{},
+                      resp_ok ? response : ipmi::Response{});
+  }
+  // Multi-byte mutations of valid frames: compensating flips can restore
+  // the checksum, so a decode may succeed — the typed decoders must still
+  // cope with whatever payload results.
+  const std::vector<ipmi::Request> requests = fuzz_requests();
+  const std::vector<ipmi::Response> responses = fuzz_responses();
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::vector<std::uint8_t> frame =
+        trial % 2 == 0
+            ? ipmi::encode_request(requests[rng.below(requests.size())])
+            : ipmi::encode_response(responses[rng.below(responses.size())]);
+    const std::size_t flips = 2 + rng.below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      frame[rng.below(frame.size())] =
+          static_cast<std::uint8_t>(rng.below(256));
+    }
+    ipmi::Request request;
+    ipmi::Response response;
+    const bool req_ok = ipmi::decode_request(frame, request);
+    const bool resp_ok = ipmi::decode_response(frame, response);
+    poke_all_decoders(req_ok ? request : ipmi::Request{},
+                      resp_ok ? response : ipmi::Response{});
+  }
+}
+
 TEST(DcmRetry, ManagedNodeRetriesThroughHeavyLoss) {
   Slot slot(5);
   ipmi::FaultSpec spec;

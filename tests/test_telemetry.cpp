@@ -260,6 +260,109 @@ const util::JsonValue* find_event(const util::JsonValue& events,
   return nullptr;
 }
 
+TEST(Reducer, FleetScaleFanInAssociativeAndCommutative) {
+  // 1200 synthetic node series with staggered starts and irregular
+  // cadences: the tree fan-in, the left fold, the reversed fold and a
+  // rotated fold must agree bin-for-bin, bit-for-bit. Watt values are
+  // small integers, so double summation is exact and the comparison is
+  // genuinely bitwise.
+  const util::Picoseconds period = util::microseconds(200);
+  Reducer reducer(period);
+  std::vector<std::unique_ptr<Sampler>> samplers;
+  std::vector<const Sampler*> ptrs;
+  for (int i = 0; i < 1200; ++i) {
+    SamplerConfig config;
+    config.period = period;
+    auto sampler = std::make_unique<Sampler>(config);
+    const util::Picoseconds start =
+        util::microseconds(static_cast<std::uint64_t>(i % 7) * 130);
+    const util::Picoseconds stride =
+        util::microseconds(170 + static_cast<std::uint64_t>(i % 5) * 40);
+    for (int k = 0; k < 18; ++k) {
+      NodeSample sample;
+      sample.time = start + static_cast<std::uint64_t>(k) * stride;
+      sample.watts = static_cast<double>(1 + (i * 7 + k * 13) % 500);
+      sampler->record(sample);
+    }
+    ptrs.push_back(sampler.get());
+    samplers.push_back(std::move(sampler));
+  }
+
+  const GroupSeries tree = reducer.reduce(ptrs, "fleet");
+
+  const auto fold = [&](const std::vector<const Sampler*>& order) {
+    GroupSeries acc;
+    for (const Sampler* sampler : order) {
+      acc = Reducer::merge(acc, reducer.align(*sampler, "n"));
+    }
+    acc.name = "fleet";
+    return acc;
+  };
+  std::vector<const Sampler*> reversed(ptrs.rbegin(), ptrs.rend());
+  std::vector<const Sampler*> rotated(ptrs.begin() + 517, ptrs.end());
+  rotated.insert(rotated.end(), ptrs.begin(), ptrs.begin() + 517);
+
+  for (const GroupSeries& other : {fold(ptrs), fold(reversed), fold(rotated)}) {
+    ASSERT_EQ(other.bins.size(), tree.bins.size());
+    for (std::size_t b = 0; b < tree.bins.size(); ++b) {
+      EXPECT_EQ(other.bins[b].time, tree.bins[b].time);
+      EXPECT_EQ(other.bins[b].nodes, tree.bins[b].nodes);
+      EXPECT_EQ(other.bins[b].min_w, tree.bins[b].min_w);
+      EXPECT_EQ(other.bins[b].max_w, tree.bins[b].max_w);
+      EXPECT_EQ(other.bins[b].sum_w, tree.bins[b].sum_w);
+      EXPECT_EQ(other.bins[b].mean_w, tree.bins[b].mean_w);
+    }
+  }
+
+  std::size_t max_nodes = 0;
+  for (const GroupSample& bin : tree.bins) {
+    max_nodes = std::max(max_nodes, bin.nodes);
+  }
+  EXPECT_EQ(max_nodes, 1200u);
+}
+
+TEST(Reducer, ZeroOrderHoldBridgesPartitionGaps) {
+  // Node A goes quiet between 3P and 8P (a management-plane partition
+  // stops its collector): the aligned series holds the last value across
+  // the gap. Node B only starts at 5P: bins before its first sample get no
+  // contribution from it.
+  const util::Picoseconds period = util::microseconds(200);
+  Reducer reducer(period);
+  SamplerConfig config;
+  config.period = period;
+  Sampler a(config), b(config);
+  for (const int k : {0, 1, 2, 3, 8, 9, 10}) {
+    NodeSample sample;
+    sample.time = static_cast<std::uint64_t>(k) * period;
+    sample.watts = k < 8 ? 100.0 : 300.0;
+    a.record(sample);
+  }
+  for (int k = 5; k <= 10; ++k) {
+    NodeSample sample;
+    sample.time = static_cast<std::uint64_t>(k) * period;
+    sample.watts = 50.0;
+    b.record(sample);
+  }
+
+  const GroupSeries merged =
+      Reducer::merge(reducer.align(a, "a"), reducer.align(b, "b"));
+  ASSERT_EQ(merged.bins.size(), 11u);
+  for (std::size_t k = 0; k < merged.bins.size(); ++k) {
+    const GroupSample& bin = merged.bins[k];
+    EXPECT_EQ(bin.time, k * period);
+    const double a_w = k < 8 ? 100.0 : 300.0;  // held at 100 through the gap
+    if (k < 5) {
+      EXPECT_EQ(bin.nodes, 1u) << k;
+      EXPECT_EQ(bin.sum_w, a_w) << k;
+    } else {
+      EXPECT_EQ(bin.nodes, 2u) << k;
+      EXPECT_EQ(bin.sum_w, a_w + 50.0) << k;
+      EXPECT_EQ(bin.min_w, 50.0) << k;
+      EXPECT_EQ(bin.max_w, a_w) << k;
+    }
+  }
+}
+
 TEST(TraceWriter, JsonParsesBackWithSpansInstantsAndMetadata) {
   TraceWriter trace;
   const std::uint32_t ipmi_track = trace.track("ipmi:node-0");

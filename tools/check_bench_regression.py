@@ -34,6 +34,9 @@ GUARDED = [
     "BM_ContextLoad",
     "BM_ContextStreamLoad",
     "BM_ContextRmw",
+    # Whole-fleet planning tick: 32 racks x 32 nodes through arrival,
+    # admission, coupler round, placement and memoised chunk commit.
+    "BM_FleetPlan1k",
 ]
 
 # Cases guarded at a per-case tight threshold, ratcheted below the global
